@@ -1,0 +1,29 @@
+//! # dco-baselines — the paper's comparison protocols
+//!
+//! §IV compares DCO against three baselines, all reimplemented here over
+//! the same simulator, bandwidth model and metrics:
+//!
+//! * [`pull`] — mesh with 1-second buffer-map gossip; missing chunks are
+//!   requested from advertising neighbors round-robin.
+//! * [`push`] — mesh with the same gossip; holders push chunks their
+//!   neighbors lack whenever upload bandwidth is free (duplicates and all).
+//! * [`tree`] — rigid d-ary tree pushing top-down from the server, with
+//!   zero control overhead and zero churn repair; `d = neighbors/8` per the
+//!   paper (or `d = neighbors` for the "tree*" ablation).
+//! * [`mesh`] — the shared random-graph substrate with tracker-assisted
+//!   neighbor repair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod mesh;
+pub mod pull;
+pub mod push;
+pub mod tree;
+
+pub use config::BaselineConfig;
+pub use mesh::MeshCore;
+pub use pull::PullProtocol;
+pub use push::PushProtocol;
+pub use tree::TreeProtocol;

@@ -1,0 +1,240 @@
+//! Shared mesh substrate for the pull and push baselines.
+//!
+//! §IV: "In the pull-based and push-based mesh overlays, every node is
+//! randomly connected with its neighbors." [`MeshCore`] owns that random
+//! graph: it tracks liveness, picks each joiner's random neighbor set
+//! (bidirectional links), and — because meshes are "naturally resilient to
+//! churn" — replaces a dead neighbor with a fresh random pick, playing the
+//! role of the membership tracker real deployments run.
+
+use dco_sim::node::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The random mesh graph plus liveness.
+#[derive(Clone, Debug)]
+pub struct MeshCore {
+    k: usize,
+    alive: Vec<bool>,
+    links: Vec<Vec<NodeId>>,
+}
+
+impl MeshCore {
+    /// An empty mesh over `n` node slots targeting `k` neighbors per node.
+    pub fn new(n: usize, k: usize) -> Self {
+        MeshCore {
+            k,
+            alive: vec![false; n],
+            links: vec![Vec::new(); n],
+        }
+    }
+
+    /// Target neighbor count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// True if `node` is currently up.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Currently alive nodes.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        (0..self.alive.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.alive[n.index()])
+            .collect()
+    }
+
+    /// The neighbor list of `node`.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.links[node.index()]
+    }
+
+    fn link(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            return;
+        }
+        if !self.links[a.index()].contains(&b) {
+            self.links[a.index()].push(b);
+        }
+        if !self.links[b.index()].contains(&a) {
+            self.links[b.index()].push(a);
+        }
+    }
+
+    fn unlink_everywhere(&mut self, node: NodeId) {
+        for l in &mut self.links {
+            l.retain(|&n| n != node);
+        }
+        self.links[node.index()].clear();
+    }
+
+    /// Brings `node` up and wires it to up to `k` random alive peers.
+    /// Returns its new neighbor list.
+    pub fn join<R: Rng + ?Sized>(&mut self, node: NodeId, rng: &mut R) -> Vec<NodeId> {
+        self.alive[node.index()] = true;
+        let mut candidates: Vec<NodeId> = self
+            .alive_nodes()
+            .into_iter()
+            .filter(|&n| n != node && !self.links[node.index()].contains(&n))
+            .collect();
+        candidates.shuffle(rng);
+        let need = self.k.saturating_sub(self.links[node.index()].len());
+        for &peer in candidates.iter().take(need) {
+            self.link(node, peer);
+        }
+        self.links[node.index()].clone()
+    }
+
+    /// Takes `node` down, severs its links, and gives each bereaved
+    /// neighbor a random replacement. Returns `(bereaved, replacement)`
+    /// pairs for the protocol to act on (e.g. send the new neighbor a
+    /// buffer map).
+    pub fn leave<R: Rng + ?Sized>(&mut self, node: NodeId, rng: &mut R) -> Vec<(NodeId, NodeId)> {
+        if !self.alive[node.index()] {
+            return Vec::new();
+        }
+        self.alive[node.index()] = false;
+        let bereaved = self.links[node.index()].clone();
+        self.unlink_everywhere(node);
+        let mut repairs = Vec::new();
+        for b in bereaved {
+            if !self.alive[b.index()] {
+                continue;
+            }
+            let mut candidates: Vec<NodeId> = self
+                .alive_nodes()
+                .into_iter()
+                .filter(|&n| n != b && !self.links[b.index()].contains(&n))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let pick = candidates.remove(rng.gen_range(0..candidates.len()));
+            self.link(b, pick);
+            repairs.push((b, pick));
+        }
+        repairs
+    }
+
+    /// Mean neighbor count over alive nodes (diagnostic).
+    pub fn mean_degree(&self) -> f64 {
+        let alive = self.alive_nodes();
+        if alive.is_empty() {
+            return 0.0;
+        }
+        alive
+            .iter()
+            .map(|&n| self.links[n.index()].len() as f64)
+            .sum::<f64>()
+            / alive.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn joiners_get_k_neighbors_when_available() {
+        let mut m = MeshCore::new(32, 4);
+        let mut r = rng();
+        for i in 0..32u32 {
+            m.join(NodeId(i), &mut r);
+        }
+        // Everyone has at least k neighbors (links are bidirectional so
+        // some have more).
+        for i in 0..32u32 {
+            assert!(
+                m.neighbors(NodeId(i)).len() >= 4,
+                "N{i} has {}",
+                m.neighbors(NodeId(i)).len()
+            );
+        }
+        assert!(m.mean_degree() >= 4.0);
+    }
+
+    #[test]
+    fn links_are_bidirectional_and_self_free() {
+        let mut m = MeshCore::new(8, 3);
+        let mut r = rng();
+        for i in 0..8u32 {
+            m.join(NodeId(i), &mut r);
+        }
+        for i in 0..8u32 {
+            for &n in m.neighbors(NodeId(i)) {
+                assert_ne!(n, NodeId(i), "no self-links");
+                assert!(m.neighbors(n).contains(&NodeId(i)), "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn small_population_caps_neighbors() {
+        let mut m = MeshCore::new(4, 10);
+        let mut r = rng();
+        for i in 0..4u32 {
+            m.join(NodeId(i), &mut r);
+        }
+        for i in 0..4u32 {
+            assert_eq!(m.neighbors(NodeId(i)).len(), 3, "complete graph of 4");
+        }
+    }
+
+    #[test]
+    fn leave_severs_and_repairs() {
+        let mut m = MeshCore::new(16, 4);
+        let mut r = rng();
+        for i in 0..16u32 {
+            m.join(NodeId(i), &mut r);
+        }
+        let victim = NodeId(3);
+        let bereaved_before: Vec<NodeId> = m.neighbors(victim).to_vec();
+        let repairs = m.leave(victim, &mut r);
+        assert!(!m.is_alive(victim));
+        for i in 0..16u32 {
+            assert!(!m.neighbors(NodeId(i)).contains(&victim), "N{i} still linked");
+        }
+        // Every bereaved neighbor got a repair offer.
+        for b in bereaved_before {
+            assert!(repairs.iter().any(|&(x, _)| x == b), "{b} not repaired");
+        }
+        // Leaving twice is a no-op.
+        assert!(m.leave(victim, &mut r).is_empty());
+    }
+
+    #[test]
+    fn rejoin_after_leave() {
+        let mut m = MeshCore::new(8, 3);
+        let mut r = rng();
+        for i in 0..8u32 {
+            m.join(NodeId(i), &mut r);
+        }
+        m.leave(NodeId(2), &mut r);
+        let neighbors = m.join(NodeId(2), &mut r);
+        assert!(m.is_alive(NodeId(2)));
+        assert!(neighbors.len() >= 3);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let build = |seed| {
+            let mut m = MeshCore::new(20, 5);
+            let mut r = SmallRng::seed_from_u64(seed);
+            for i in 0..20u32 {
+                m.join(NodeId(i), &mut r);
+            }
+            (0..20u32).map(|i| m.neighbors(NodeId(i)).to_vec()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(1), build(1));
+        assert_ne!(build(1), build(2));
+    }
+}

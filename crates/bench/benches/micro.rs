@@ -1,0 +1,130 @@
+//! Microbenchmarks for the hot paths of the substrates: the event
+//! calendar, Chord routing, consistent hashing, index-table selection and
+//! the buffer-map bit operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dco_core::buffer::BufferMap;
+use dco_core::chunk::ChunkSeq;
+use dco_core::index::{ChunkIndex, IndexTable, SelectPolicy};
+use dco_dht::chord::{ChordConfig, ChordNet, RouteDecision};
+use dco_dht::hash::{hash_name, hash_node};
+use dco_dht::id::{ChordId, Peer};
+use dco_sim::net::Kbps;
+use dco_sim::node::NodeId;
+use dco_sim::queue::EventQueue;
+use dco_sim::time::SimTime;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1024u64 {
+                q.push(SimTime::from_micros(i * 37 % 4096), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    c.bench_function("hash/chunk_name", |b| {
+        b.iter(|| black_box(hash_name(black_box("CNN1230773442"))))
+    });
+    c.bench_function("hash/node_id", |b| {
+        b.iter(|| black_box(hash_node(black_box(NodeId(271828)))))
+    });
+}
+
+fn bench_chord_routing(c: &mut Criterion) {
+    let peers: Vec<Peer> = (0..512)
+        .map(|i| Peer::new(hash_node(NodeId(i)), NodeId(i)))
+        .collect();
+    let net = ChordNet::build_static(&peers, ChordConfig::default());
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("chord/route_walk_512", |b| {
+        b.iter(|| {
+            let key = ChordId(rng.gen());
+            let mut at = NodeId(rng.gen_range(0..512));
+            let mut hops = 0u32;
+            loop {
+                match net.route_next(at, key).unwrap() {
+                    RouteDecision::Deliver => break,
+                    RouteDecision::DeliverAt(_) => break,
+                    RouteDecision::Forward(p) => {
+                        at = p.node;
+                        hops += 1;
+                    }
+                }
+            }
+            black_box(hops)
+        })
+    });
+}
+
+fn bench_index_table(c: &mut Criterion) {
+    let mut table = IndexTable::new();
+    let key = ChordId(42);
+    for h in 0..64u32 {
+        table.register(
+            key,
+            ChunkIndex {
+                seq: ChunkSeq(1),
+                holder: NodeId(h),
+                avail: Kbps(100 + h * 20),
+                held_count: h,
+            },
+        );
+    }
+    let mut rng = SmallRng::seed_from_u64(2);
+    c.bench_function("index/select_64_providers", |b| {
+        b.iter(|| {
+            black_box(table.select(
+                key,
+                Kbps(300),
+                SelectPolicy::SufficientBandwidth,
+                &[NodeId(3)],
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_buffer_map(c: &mut Criterion) {
+    c.bench_function("bufmap/insert_scan_200", |b| {
+        b.iter(|| {
+            let mut m = BufferMap::new(200);
+            for s in (0..200u32).step_by(3) {
+                m.insert(ChunkSeq(s));
+            }
+            black_box(m.missing_in(ChunkSeq(0), ChunkSeq(199)).len())
+        })
+    });
+    let mut a = BufferMap::new(200);
+    let mut bmap = BufferMap::new(200);
+    for s in 0..150u32 {
+        a.insert(ChunkSeq(s));
+    }
+    for s in 0..100u32 {
+        bmap.insert(ChunkSeq(s * 2 % 200));
+    }
+    c.bench_function("bufmap/gap_computation", |b| {
+        b.iter(|| black_box(a.held_that_other_misses(&bmap, ChunkSeq(0), ChunkSeq(199)).len()))
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_event_queue,
+    bench_hashing,
+    bench_chord_routing,
+    bench_index_table,
+    bench_buffer_map
+);
+criterion_main!(micro);

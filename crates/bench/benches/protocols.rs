@@ -1,0 +1,63 @@
+//! End-to-end protocol benches: one small streaming run per method, plus
+//! the ablation pipelines. These time the simulator itself (events/sec)
+//! under each protocol's message mix.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dco_bench::ablation;
+use dco_bench::figs::FigScale;
+use dco_bench::{run, Method, RunParams};
+
+fn tiny_params() -> RunParams {
+    let mut p = RunParams::small(42);
+    p.n_nodes = 32;
+    p.n_chunks = 10;
+    p.neighbors = 8;
+    p.horizon = dco_sim::time::SimTime::from_secs(40);
+    p
+}
+
+fn bench_protocol_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_run_32n_10c");
+    g.sample_size(10);
+    for m in [Method::Dco, Method::Push, Method::Pull, Method::Tree] {
+        g.bench_function(m.label(), |b| {
+            let p = tiny_params();
+            b.iter(|| black_box(run(m, &p).received_pct))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let scale = FigScale {
+        n_nodes: 20,
+        n_chunks: 8,
+        churn_chunks: 10,
+        static_horizon: 30,
+        churn_horizon: 45,
+        neighbor_sweep: vec![4],
+        population_sweep: vec![20],
+        default_neighbors: 8,
+        fill_offset_secs: 5,
+        seeds: vec![3],
+    };
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("selection", |b| {
+        b.iter(|| black_box(ablation::ablate_selection(&scale)))
+    });
+    g.bench_function("window", |b| {
+        b.iter(|| black_box(ablation::ablate_window(&scale)))
+    });
+    g.bench_function("tier", |b| {
+        b.iter(|| black_box(ablation::ablate_tier(&scale)))
+    });
+    g.bench_function("bandwidth_model", |b| {
+        b.iter(|| black_box(ablation::ablate_bandwidth_model(&scale)))
+    });
+    g.finish();
+}
+
+criterion_group!(protocols, bench_protocol_runs, bench_ablations);
+criterion_main!(protocols);

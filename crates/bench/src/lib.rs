@@ -1,0 +1,27 @@
+//! # dco-bench — the experiment harness
+//!
+//! Regenerates every figure of the paper's evaluation (§IV, Figs. 5–12)
+//! plus the ablations DESIGN.md calls out:
+//!
+//! * [`runner`] — builds a scenario, runs one method, extracts all four
+//!   metrics from the same simulation.
+//! * [`figs`] — one generator per paper figure, rayon-parallel across sweep
+//!   points and seeds.
+//! * [`ablation`] — design-choice studies (provider selection, adaptive
+//!   window, tier mode, bandwidth model).
+//!
+//! The `figures` binary prints any subset as text tables and CSV:
+//!
+//! ```text
+//! cargo run --release -p dco-bench --bin figures -- all --scale paper
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figs;
+pub mod runner;
+
+pub use figs::FigScale;
+pub use runner::{run, Method, RunParams, RunResult};

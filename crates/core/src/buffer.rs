@@ -1,0 +1,220 @@
+//! Playback buffers and buffer maps.
+//!
+//! A mesh-based node "maintains a buffer map which summarizes the chunks
+//! that it currently has cached" (§I). [`BufferMap`] is that bitmap: one bit
+//! per chunk sequence number. DCO nodes use the same structure to track
+//! their own holdings; the mesh baselines also *exchange* these maps every
+//! second, which is where their overhead comes from.
+
+use crate::chunk::ChunkSeq;
+
+/// A chunk-possession bitmap over dense sequence numbers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BufferMap {
+    words: Vec<u64>,
+    held: usize,
+}
+
+impl BufferMap {
+    /// An empty map sized for `n_chunks`.
+    pub fn new(n_chunks: u32) -> Self {
+        BufferMap {
+            words: vec![0; (n_chunks as usize).div_ceil(64)],
+            held: 0,
+        }
+    }
+
+    /// Number of chunks currently held.
+    #[inline]
+    pub fn held_count(&self) -> usize {
+        self.held
+    }
+
+    /// True if no chunk is held.
+    pub fn is_empty(&self) -> bool {
+        self.held == 0
+    }
+
+    /// True if chunk `seq` is held.
+    #[inline]
+    pub fn has(&self, seq: ChunkSeq) -> bool {
+        let i = seq.index();
+        i / 64 < self.words.len() && (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Marks chunk `seq` held; grows as needed. Returns `true` if this is a
+    /// new chunk.
+    pub fn insert(&mut self, seq: ChunkSeq) -> bool {
+        let i = seq.index();
+        if i / 64 >= self.words.len() {
+            self.words.resize(i / 64 + 1, 0);
+        }
+        let mask = 1u64 << (i % 64);
+        if self.words[i / 64] & mask == 0 {
+            self.words[i / 64] |= mask;
+            self.held += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops chunk `seq` (sliding-window eviction). Returns `true` if it
+    /// was held.
+    pub fn remove(&mut self, seq: ChunkSeq) -> bool {
+        let i = seq.index();
+        if i / 64 >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << (i % 64);
+        if self.words[i / 64] & mask != 0 {
+            self.words[i / 64] &= !mask;
+            self.held -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over held sequence numbers in increasing order.
+    pub fn iter_held(&self) -> impl Iterator<Item = ChunkSeq> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            core::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some(ChunkSeq((wi * 64) as u32 + b))
+                }
+            })
+        })
+    }
+
+    /// The missing chunks in `[from, to]`, in order.
+    pub fn missing_in(&self, from: ChunkSeq, to: ChunkSeq) -> Vec<ChunkSeq> {
+        (from.0..=to.0)
+            .map(ChunkSeq)
+            .filter(|&s| !self.has(s))
+            .collect()
+    }
+
+    /// Chunks held here that `other` is missing, restricted to `[from, to]`
+    /// (what a push-mesh node offers a neighbor).
+    pub fn held_that_other_misses(
+        &self,
+        other: &BufferMap,
+        from: ChunkSeq,
+        to: ChunkSeq,
+    ) -> Vec<ChunkSeq> {
+        (from.0..=to.0)
+            .map(ChunkSeq)
+            .filter(|&s| self.has(s) && !other.has(s))
+            .collect()
+    }
+
+    /// Buffering level: the number of **consecutive** held chunks starting
+    /// at `playhead` — the paper's streaming-quality covariate for the
+    /// longevity model (§III-B1a).
+    pub fn buffering_level(&self, playhead: ChunkSeq) -> u32 {
+        let mut n = 0;
+        let mut s = playhead;
+        while self.has(s) {
+            n += 1;
+            s = s.next();
+        }
+        n
+    }
+
+    /// A compact wire copy of the bitmap (what mesh nodes exchange).
+    pub fn snapshot(&self) -> BufferMap {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: u32) -> ChunkSeq {
+        ChunkSeq(s)
+    }
+
+    #[test]
+    fn insert_query_remove() {
+        let mut m = BufferMap::new(100);
+        assert!(!m.has(c(5)));
+        assert!(m.insert(c(5)));
+        assert!(!m.insert(c(5)), "idempotent insert");
+        assert!(m.has(c(5)));
+        assert_eq!(m.held_count(), 1);
+        assert!(m.remove(c(5)));
+        assert!(!m.remove(c(5)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut m = BufferMap::new(1);
+        assert!(m.insert(c(1000)));
+        assert!(m.has(c(1000)));
+        assert!(!m.has(c(999)));
+        assert!(!m.remove(c(100_000)), "far-out remove is a no-op");
+    }
+
+    #[test]
+    fn iter_held_in_order() {
+        let mut m = BufferMap::new(200);
+        for s in [70u32, 3, 64, 128, 0] {
+            m.insert(c(s));
+        }
+        let got: Vec<u32> = m.iter_held().map(|s| s.0).collect();
+        assert_eq!(got, vec![0, 3, 64, 70, 128]);
+    }
+
+    #[test]
+    fn missing_ranges() {
+        let mut m = BufferMap::new(10);
+        m.insert(c(2));
+        m.insert(c(4));
+        assert_eq!(
+            m.missing_in(c(1), c(5)).iter().map(|s| s.0).collect::<Vec<_>>(),
+            vec![1, 3, 5]
+        );
+        assert!(m.missing_in(c(2), c(2)).is_empty());
+    }
+
+    #[test]
+    fn push_offer_computation() {
+        let mut mine = BufferMap::new(10);
+        let mut theirs = BufferMap::new(10);
+        mine.insert(c(1));
+        mine.insert(c(2));
+        mine.insert(c(3));
+        theirs.insert(c(2));
+        let offer = mine.held_that_other_misses(&theirs, c(0), c(9));
+        assert_eq!(offer.iter().map(|s| s.0).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn buffering_level_counts_consecutive_run() {
+        let mut m = BufferMap::new(20);
+        for s in [5u32, 6, 7, 9] {
+            m.insert(c(s));
+        }
+        assert_eq!(m.buffering_level(c(5)), 3, "5,6,7 then gap at 8");
+        assert_eq!(m.buffering_level(c(8)), 0);
+        assert_eq!(m.buffering_level(c(9)), 1);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut m = BufferMap::new(10);
+        m.insert(c(1));
+        let snap = m.snapshot();
+        m.insert(c(2));
+        assert!(snap.has(c(1)));
+        assert!(!snap.has(c(2)));
+    }
+}

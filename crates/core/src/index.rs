@@ -1,0 +1,357 @@
+//! Coordinator index tables and provider selection (§III-B2, Fig. 3).
+//!
+//! "Each coordinator maintains an index table where each entry holds the
+//! indices of a chunk. A chunk index includes the chunk's ID, name, the IP
+//! address of its holder node, the chunk owner's buffer map and available
+//! bandwidth." On a `Lookup(ID)`, the coordinator "responds … a chunk
+//! provider with sufficient available bandwidth for the chunk transmission".
+//!
+//! [`IndexTable`] wraps the DHT [`KeyStore`] with chunk-index semantics:
+//! registration refresh, holder removal (departure/failure), and the
+//! sufficient-bandwidth selection rule with a round-robin tiebreak so load
+//! spreads across equally capable providers. A `Random` policy is provided
+//! as the ablation baseline.
+
+use dco_dht::id::ChordId;
+use dco_dht::store::KeyStore;
+use dco_sim::net::Kbps;
+use dco_sim::node::NodeId;
+use rand::Rng;
+
+use crate::chunk::ChunkSeq;
+
+/// One row of a coordinator's index table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkIndex {
+    /// The chunk this index advertises.
+    pub seq: ChunkSeq,
+    /// The provider holding the chunk.
+    pub holder: NodeId,
+    /// The provider's advertised spare upload bandwidth.
+    pub avail: Kbps,
+    /// How many chunks the provider held when it registered (a compact
+    /// stand-in for the full buffer map the paper stores per index).
+    pub held_count: u32,
+}
+
+/// Provider-selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectPolicy {
+    /// The paper's rule: among providers whose advertised bandwidth covers
+    /// the stream rate, rotate round-robin; if none qualify, take the one
+    /// with the most spare bandwidth.
+    SufficientBandwidth,
+    /// Ablation: uniformly random provider, ignoring bandwidth.
+    Random,
+    /// Extension (the paper's future-work "optimal peer selection"):
+    /// always the provider advertising the most spare bandwidth,
+    /// tie-broken by the smallest holdings (spreads load toward nodes
+    /// serving little).
+    LeastLoaded,
+}
+
+/// A coordinator's index table.
+#[derive(Clone, Debug)]
+pub struct IndexTable {
+    store: KeyStore<ChunkIndex>,
+    /// Round-robin cursor per chunk key.
+    cursors: std::collections::HashMap<u64, usize>,
+}
+
+impl Default for IndexTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndexTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        IndexTable {
+            store: KeyStore::new(),
+            cursors: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Registers (or refreshes) a chunk index. A holder re-registering the
+    /// same chunk updates its bandwidth advertisement in place.
+    pub fn register(&mut self, key: ChordId, idx: ChunkIndex) {
+        if let Some(entries) = self.store.get_mut(key) {
+            if let Some(e) = entries.iter_mut().find(|e| e.holder == idx.holder) {
+                *e = idx;
+                return;
+            }
+        }
+        self.store.insert(key, idx);
+    }
+
+    /// Removes one holder's index for `key`. Returns `true` if present.
+    pub fn remove_holder(&mut self, key: ChordId, holder: NodeId) -> bool {
+        match self.store.get_mut(key) {
+            Some(entries) => {
+                let before = entries.len();
+                entries.retain(|e| e.holder != holder);
+                entries.len() != before
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a holder from **every** entry (graceful-departure cleanup on
+    /// a coordinator that received a deregistration without a key list).
+    pub fn purge_holder(&mut self, holder: NodeId) -> usize {
+        let mut removed = 0;
+        self.store.retain_values(|_, e| {
+            if e.holder == holder {
+                removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// All indices registered under `key`.
+    pub fn providers(&self, key: ChordId) -> &[ChunkIndex] {
+        self.store.get(key)
+    }
+
+    /// Number of distinct chunk keys with at least one provider.
+    pub fn key_count(&self) -> usize {
+        self.store.key_count()
+    }
+
+    /// Total registered indices.
+    pub fn index_count(&self) -> usize {
+        self.store.value_count()
+    }
+
+    /// Picks a provider for `key` under `policy`, excluding `exclude`
+    /// (e.g. the requester itself, or a provider just reported dead).
+    ///
+    /// `floor` is the stream rate the provider must sustain.
+    pub fn select<R: Rng + ?Sized>(
+        &mut self,
+        key: ChordId,
+        floor: Kbps,
+        policy: SelectPolicy,
+        exclude: &[NodeId],
+        rng: &mut R,
+    ) -> Option<ChunkIndex> {
+        let entries = self.store.get(key);
+        let candidates: Vec<&ChunkIndex> = entries
+            .iter()
+            .filter(|e| !exclude.contains(&e.holder))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match policy {
+            SelectPolicy::Random => {
+                let i = rng.gen_range(0..candidates.len());
+                Some(*candidates[i])
+            }
+            SelectPolicy::SufficientBandwidth => {
+                let sufficient: Vec<&&ChunkIndex> =
+                    candidates.iter().filter(|e| e.avail >= floor).collect();
+                if sufficient.is_empty() {
+                    // Degraded mode: the least-loaded holder.
+                    return candidates.iter().max_by_key(|e| e.avail).map(|e| **e);
+                }
+                let cursor = self.cursors.entry(key.0).or_insert(0);
+                let pick = **sufficient[*cursor % sufficient.len()];
+                *cursor = cursor.wrapping_add(1);
+                Some(pick)
+            }
+            SelectPolicy::LeastLoaded => candidates
+                .iter()
+                .max_by_key(|e| (e.avail, std::cmp::Reverse(e.held_count)))
+                .map(|e| **e),
+        }
+    }
+
+    /// Drains the whole table for a handover (coordinator departure), as
+    /// `(key, indices)` pairs.
+    pub fn drain_all(&mut self) -> Vec<(ChordId, Vec<ChunkIndex>)> {
+        self.cursors.clear();
+        self.store.extract_range(ChordId(0), ChordId(0))
+    }
+
+    /// Removes and returns the entries in the clockwise arc `(from, to]`
+    /// (ownership split when a new coordinator joins).
+    pub fn extract_range(&mut self, from: ChordId, to: ChordId) -> Vec<(ChordId, Vec<ChunkIndex>)> {
+        self.store.extract_range(from, to)
+    }
+
+    /// Bulk-inserts handed-over entries.
+    pub fn absorb(&mut self, entries: Vec<(ChordId, Vec<ChunkIndex>)>) {
+        for (key, idxs) in entries {
+            for idx in idxs {
+                self.register(key, idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn idx(holder: u32, avail: u32) -> ChunkIndex {
+        ChunkIndex {
+            seq: ChunkSeq(1),
+            holder: NodeId(holder),
+            avail: Kbps(avail),
+            held_count: 1,
+        }
+    }
+
+    const KEY: ChordId = ChordId(42);
+    const FLOOR: Kbps = Kbps(300);
+
+    #[test]
+    fn register_and_refresh() {
+        let mut t = IndexTable::new();
+        t.register(KEY, idx(1, 600));
+        t.register(KEY, idx(2, 600));
+        assert_eq!(t.providers(KEY).len(), 2);
+        // Refresh in place.
+        t.register(KEY, idx(1, 100));
+        assert_eq!(t.providers(KEY).len(), 2);
+        let e = t.providers(KEY).iter().find(|e| e.holder == NodeId(1)).unwrap();
+        assert_eq!(e.avail, Kbps(100));
+        assert_eq!(t.key_count(), 1);
+        assert_eq!(t.index_count(), 2);
+    }
+
+    #[test]
+    fn remove_and_purge() {
+        let mut t = IndexTable::new();
+        t.register(KEY, idx(1, 600));
+        t.register(ChordId(43), idx(1, 600));
+        t.register(KEY, idx(2, 600));
+        assert!(t.remove_holder(KEY, NodeId(1)));
+        assert!(!t.remove_holder(KEY, NodeId(1)));
+        assert_eq!(t.purge_holder(NodeId(1)), 1, "remaining entry under 43");
+        assert_eq!(t.index_count(), 1);
+    }
+
+    #[test]
+    fn sufficient_bandwidth_round_robin() {
+        let mut t = IndexTable::new();
+        t.register(KEY, idx(1, 600));
+        t.register(KEY, idx(2, 500));
+        t.register(KEY, idx(3, 100)); // below floor
+        let mut rng = SmallRng::seed_from_u64(1);
+        let picks: Vec<u32> = (0..4)
+            .map(|_| {
+                t.select(KEY, FLOOR, SelectPolicy::SufficientBandwidth, &[], &mut rng)
+                    .unwrap()
+                    .holder
+                    .0
+            })
+            .collect();
+        assert_eq!(picks, vec![1, 2, 1, 2], "rotates among sufficient only");
+    }
+
+    #[test]
+    fn degraded_mode_picks_least_loaded() {
+        let mut t = IndexTable::new();
+        t.register(KEY, idx(1, 50));
+        t.register(KEY, idx(2, 200));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = t
+            .select(KEY, FLOOR, SelectPolicy::SufficientBandwidth, &[], &mut rng)
+            .unwrap();
+        assert_eq!(p.holder, NodeId(2), "no one sufficient ⇒ max avail");
+    }
+
+    #[test]
+    fn exclusion_list_respected() {
+        let mut t = IndexTable::new();
+        t.register(KEY, idx(1, 600));
+        t.register(KEY, idx(2, 600));
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let p = t
+                .select(KEY, FLOOR, SelectPolicy::SufficientBandwidth, &[NodeId(1)], &mut rng)
+                .unwrap();
+            assert_eq!(p.holder, NodeId(2));
+        }
+        assert!(t
+            .select(KEY, FLOOR, SelectPolicy::SufficientBandwidth, &[NodeId(1), NodeId(2)], &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn random_policy_covers_all_candidates() {
+        let mut t = IndexTable::new();
+        for h in 1..=3 {
+            t.register(KEY, idx(h, 10)); // all below floor; Random ignores
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(
+                t.select(KEY, FLOOR, SelectPolicy::Random, &[], &mut rng)
+                    .unwrap()
+                    .holder
+                    .0,
+            );
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn least_loaded_picks_max_avail_then_fewest_held() {
+        let mut t = IndexTable::new();
+        t.register(KEY, idx(1, 400));
+        t.register(KEY, idx(2, 600));
+        t.register(
+            KEY,
+            ChunkIndex { seq: ChunkSeq(1), holder: NodeId(3), avail: Kbps(600), held_count: 99 },
+        );
+        let mut rng = SmallRng::seed_from_u64(4);
+        let p = t
+            .select(KEY, FLOOR, SelectPolicy::LeastLoaded, &[], &mut rng)
+            .unwrap();
+        assert_eq!(p.holder, NodeId(2), "600 kbps beats 400; 1 held beats 99");
+    }
+
+    #[test]
+    fn empty_key_selects_none() {
+        let mut t = IndexTable::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(t
+            .select(KEY, FLOOR, SelectPolicy::SufficientBandwidth, &[], &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn drain_and_absorb_round_trip() {
+        let mut a = IndexTable::new();
+        a.register(KEY, idx(1, 600));
+        a.register(ChordId(99), idx(2, 500));
+        let drained = a.drain_all();
+        assert_eq!(a.index_count(), 0);
+        let mut b = IndexTable::new();
+        b.absorb(drained);
+        assert_eq!(b.index_count(), 2);
+        assert_eq!(b.providers(KEY).len(), 1);
+    }
+
+    #[test]
+    fn extract_range_splits_ownership() {
+        let mut t = IndexTable::new();
+        t.register(ChordId(10), idx(1, 600));
+        t.register(ChordId(20), idx(2, 600));
+        t.register(ChordId(30), idx(3, 600));
+        let moved = t.extract_range(ChordId(10), ChordId(20));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].0, ChordId(20));
+        assert_eq!(t.index_count(), 2);
+    }
+}

@@ -1,0 +1,324 @@
+//! The data plane: the fetch loop, provider handling, chunk serving and
+//! reception (Algorithm 1 lines 1–14).
+
+use dco_dht::chord::FIND_TTL;
+use dco_sim::prelude::*;
+
+use crate::chunk::ChunkSeq;
+
+use super::{DcoMsg, DcoProtocol, DcoTimer, PendingFetch, Role};
+
+impl DcoProtocol {
+    // ------------------------------------------------------------------
+    // Fetch loop
+    // ------------------------------------------------------------------
+
+    /// Algorithm 1 lines 1–4: "if N needs to buffer the next chunk, generate
+    /// the chunk ID and send Lookup(ID)". Runs every `fetch_tick`; issues up
+    /// to the in-flight budget of lookups for the oldest missing chunks in
+    /// the prefetch window.
+    pub(super) fn handle_fetch_tick(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self>) {
+        if self.is_server(node) || self.state(node).is_none() {
+            return;
+        }
+        let now = ctx.now();
+        ctx.set_timer(node, self.cfg.fetch_tick, DcoTimer::FetchTick);
+        let Some(latest) = self.namer.latest_at(now) else {
+            return;
+        };
+        let st = self.state(node).expect("checked above");
+        if latest < st.first_seq {
+            return;
+        }
+        // Hierarchical clients without a coordinator yet cannot look up.
+        if st.role == Role::Client && st.coordinator.is_none() {
+            return;
+        }
+        // This session's broadcast comes first: the viewer fetches
+        // `[session_seq, latest]` oldest-first, bounded by the prefetch
+        // window ahead of its playhead (Eq. 2 when adaptive); history is
+        // backfilled strictly below the live band's claim on the slots.
+        let window = if self.cfg.adaptive_window {
+            st.window.size_chunks()
+        } else {
+            self.cfg.window.base_chunks
+        };
+        let budget = self
+            .cfg
+            .max_inflight
+            .saturating_sub(st.pending.len() + st.lookups.len());
+        if budget == 0 {
+            return;
+        }
+        let elapsed_chunks = (now.saturating_since(st.joined_at).as_micros()
+            / self.cfg.chunk_interval.as_micros().max(1)) as u32;
+        let playhead = ChunkSeq(st.session_seq.0.saturating_add(elapsed_chunks));
+        let end = ChunkSeq(playhead.0.saturating_add(window).min(latest.0));
+        let session_start = st.session_seq.max(st.first_seq);
+        let mut wanted: Vec<ChunkSeq> = Vec::with_capacity(budget);
+        if end >= session_start {
+            wanted.extend(
+                st.buffer
+                    .missing_in(session_start, end)
+                    .into_iter()
+                    .filter(|s| !st.pending.contains_key(&s.0) && !st.lookups.contains_key(&s.0))
+                    .take(budget),
+            );
+        }
+        // At most ONE slot chases pre-session history. Empirically this is
+        // load-bearing: with more, the slots that happen to be free while
+        // the live band is momentarily in flight all dive into history,
+        // every new live chunk then waits out their 2 s timeouts, and
+        // live delivery collapses network-wide (87 % → 35 % received at
+        // the paper's churn point).
+        if wanted.len() < budget && session_start > st.first_seq {
+            wanted.extend(
+                st.buffer
+                    .missing_in(st.first_seq, ChunkSeq(session_start.0 - 1))
+                    .into_iter()
+                    .filter(|s| !st.pending.contains_key(&s.0) && !st.lookups.contains_key(&s.0))
+                    .take(1),
+            );
+        }
+        for seq in wanted {
+            self.start_lookup(node, seq, None, ctx);
+        }
+    }
+
+    /// Issues a lookup for `seq`, optionally reporting `exclude` as dead.
+    pub(super) fn start_lookup(
+        &mut self,
+        node: NodeId,
+        seq: ChunkSeq,
+        exclude: Option<NodeId>,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
+        let key = self.key_of(seq);
+        let timeout = self.cfg.request_timeout;
+        let Some(st) = self.state_mut(node) else { return };
+        st.lookups.insert(seq.0, ());
+        ctx.set_timer(node, timeout, DcoTimer::LookupTimeout { seq });
+        if st.role == Role::Client {
+            if let Some(c) = st.coordinator {
+                ctx.send_control(node, c, DcoMsg::ClientLookup { seq, exclude }, "dco.lookup");
+            }
+            return;
+        }
+        self.route_lookup(node, key, seq, node, exclude, FIND_TTL, false, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Provider answers and chunk transfer
+    // ------------------------------------------------------------------
+
+    /// A coordinator answered our lookup (Algorithm 1 lines 3–5).
+    pub(super) fn handle_provider(
+        &mut self,
+        node: NodeId,
+        seq: ChunkSeq,
+        provider: Option<NodeId>,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
+        let timeout = self.cfg.request_timeout;
+        let Some(st) = self.state_mut(node) else { return };
+        st.lookups.remove(&seq.0);
+        st.coord_failures = 0;
+        let Some(p) = provider else {
+            // No provider known yet: count a fetch failure and retry on the
+            // next tick (the window inflates per Eq. 2).
+            st.window.record_failure();
+            self.fetch_failures += 1;
+            return;
+        };
+        if p == node || st.buffer.has(seq) || st.pending.contains_key(&seq.0) {
+            return;
+        }
+        st.pending.insert(seq.0, PendingFetch { provider: p });
+        ctx.send_control(node, p, DcoMsg::ChunkRequest { seq }, "dco.request");
+        ctx.set_timer(node, timeout, DcoTimer::RequestTimeout { seq, provider: p });
+    }
+
+    /// Provider side (Algorithm 1 lines 10–14): serve if the chunk is held
+    /// and the upload pipe is not hopelessly backlogged, else say `Busy`.
+    pub(super) fn handle_chunk_request(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        seq: ChunkSeq,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
+        let has = self
+            .state(node)
+            .map(|st| st.buffer.has(seq))
+            .unwrap_or(false);
+        if !has {
+            // Stale index (e.g. this slot rejoined after churn with a fresh
+            // buffer): tell the requester so it reports the corpse index.
+            ctx.send_control(node, from, DcoMsg::NoChunk { seq }, "dco.busy");
+            return;
+        }
+        if ctx.upload_backlog(node) <= self.cfg.busy_backlog {
+            self.serves[node.index()] += 1;
+            ctx.send_data(node, from, DcoMsg::ChunkData { seq }, self.cfg.chunk_size);
+        } else {
+            ctx.send_control(node, from, DcoMsg::Busy { seq }, "dco.busy");
+        }
+    }
+
+    /// A chunk arrived (Algorithm 1 lines 6–8): buffer it, record the
+    /// reception, and register as a provider.
+    pub(super) fn handle_chunk_data(
+        &mut self,
+        node: NodeId,
+        _from: NodeId,
+        seq: ChunkSeq,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
+        let now = ctx.now();
+        let Some(st) = self.state_mut(node) else { return };
+        st.pending.remove(&seq.0);
+        if !st.buffer.insert(seq) {
+            return; // duplicate
+        }
+        st.window.record_success();
+        st.covariates.buffering_level = st.buffer.buffering_level(st.first_seq);
+        self.obs.record_received(seq.0, node, now);
+        self.start_insert(node, seq, ctx);
+    }
+
+    /// The provider had no spare bandwidth; retry through the coordinator
+    /// on the next tick (its round-robin moves to another provider).
+    pub(super) fn handle_busy(&mut self, node: NodeId, seq: ChunkSeq, ctx: &mut Ctx<'_, Self>) {
+        let _ = ctx;
+        let Some(st) = self.state_mut(node) else { return };
+        if st.pending.remove(&seq.0).is_some() {
+            st.window.record_failure();
+            self.fetch_failures += 1;
+        }
+    }
+
+    /// The provider's index was stale (it no longer holds the chunk):
+    /// re-lookup immediately, reporting the stale holder so the coordinator
+    /// drops its index.
+    pub(super) fn handle_no_chunk(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        seq: ChunkSeq,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
+        let removed = match self.state_mut(node) {
+            Some(st) => {
+                let hit = st.pending.remove(&seq.0).is_some();
+                if hit {
+                    st.window.record_failure();
+                }
+                hit
+            }
+            None => false,
+        };
+        if removed {
+            self.fetch_failures += 1;
+            self.start_lookup(node, seq, Some(from), ctx);
+        }
+    }
+
+    /// §III-B2: "it continuously reports its buffered chunks to the DHT" —
+    /// a rotating re-registration that keeps indices fresh and repopulates
+    /// a coordinator that inherited an arc after a failure. Active only
+    /// with a dynamic ring; in the static no-churn setting a single report
+    /// per chunk suffices (and matches the paper's overhead accounting).
+    pub(super) fn handle_report_tick(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self>) {
+        if self.cfg.static_ring || self.state(node).is_none() {
+            return;
+        }
+        ctx.set_timer(node, self.cfg.report_every, DcoTimer::ReportTick);
+        let (held, cursor) = {
+            let st = self.state(node).expect("checked above");
+            let held: Vec<ChunkSeq> = st.buffer.iter_held().collect();
+            (held, st.report_cursor)
+        };
+        if held.is_empty() {
+            return;
+        }
+        // The server is the availability anchor ("the DHT always returns a
+        // chunk provider"): it refreshes its whole catalogue within ~15
+        // report periods, so a crashed coordinator's arc is repopulated
+        // quickly. Peers rotate at the configured trickle.
+        let batch = if self.is_server(node) {
+            (self.cfg.n_chunks / 15 + 1).max(self.cfg.report_batch)
+        } else {
+            self.cfg.report_batch
+        };
+        let batch = batch.min(held.len() as u32);
+        for k in 0..batch {
+            let seq = held[((cursor + k) as usize) % held.len()];
+            self.start_insert(node, seq, ctx);
+        }
+        if let Some(st) = self.state_mut(node) {
+            st.report_cursor = st.report_cursor.wrapping_add(batch);
+        }
+    }
+
+    /// The provider never answered: §III-B1b "Node Failure" — report the
+    /// failure to the coordinator and receive a new provider in one routed
+    /// message.
+    pub(super) fn handle_request_timeout(
+        &mut self,
+        node: NodeId,
+        seq: ChunkSeq,
+        provider: NodeId,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
+        let still_waiting = match self.state_mut(node) {
+            Some(st) => match st.pending.get(&seq.0) {
+                Some(p) if p.provider == provider => {
+                    st.pending.remove(&seq.0);
+                    st.window.record_failure();
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        };
+        if still_waiting {
+            self.fetch_failures += 1;
+            self.start_lookup(node, seq, Some(provider), ctx);
+        }
+    }
+
+    /// A routed lookup vanished (coordinator churned mid-route). Retry on
+    /// the next tick; hierarchical clients count these toward coordinator
+    /// death detection.
+    pub(super) fn handle_lookup_timeout(
+        &mut self,
+        node: NodeId,
+        seq: ChunkSeq,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
+        let report_dead = {
+            let Some(st) = self.state_mut(node) else { return };
+            if st.lookups.remove(&seq.0).is_none() {
+                return; // answered in time
+            }
+            st.window.record_failure();
+            if st.role == Role::Client {
+                st.coord_failures += 1;
+                if st.coord_failures >= 3 {
+                    // §III-B1b: the client notices the coordinator failure
+                    // and contacts the server for a new coordinator.
+                    st.coord_failures = 0;
+                    st.coordinator.take()
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        self.fetch_failures += 1;
+        if let Some(dead) = report_dead {
+            ctx.send_control(node, NodeId(0), DcoMsg::CoordinatorLost { dead }, "dco.attach");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The adaptive prefetching window (§III-B2, Eq. 2).
+//!
+//! The prefetch window hides DHT lookup latency: a node fetches chunks up to
+//! `W_pf` positions ahead of its playhead. The paper sizes it adaptively:
+//!
+//! ```text
+//! W_pf = W · B / (b · (1 − p_f))
+//! ```
+//!
+//! where `W` is the predefined base window, `B` the network-average download
+//! bandwidth, `b` the node's own download bandwidth, and `p_f` the node's
+//! observed chunk-fetch failure probability. Slower nodes and nodes seeing
+//! more failures prefetch further ahead.
+
+use dco_sim::net::Kbps;
+
+/// Configuration of the adaptive window.
+#[derive(Clone, Debug)]
+pub struct WindowConfig {
+    /// The predefined base window `W`, in chunks.
+    pub base_chunks: u32,
+    /// Network-average download bandwidth `B`.
+    pub avg_bandwidth: Kbps,
+    /// Lower clamp for the adapted window.
+    pub min_chunks: u32,
+    /// Upper clamp for the adapted window.
+    pub max_chunks: u32,
+    /// EWMA smoothing factor for the failure estimate (0 < α ≤ 1).
+    pub failure_alpha: f64,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            base_chunks: 10,
+            avg_bandwidth: Kbps(600),
+            min_chunks: 2,
+            max_chunks: 60,
+            failure_alpha: 0.2,
+        }
+    }
+}
+
+/// Per-node adaptive prefetch window state.
+#[derive(Clone, Debug)]
+pub struct PrefetchWindow {
+    cfg: WindowConfig,
+    /// This node's download bandwidth `b`.
+    my_bandwidth: Kbps,
+    /// EWMA estimate of the fetch-failure probability `p_f`.
+    failure_rate: f64,
+    /// Fetch outcomes observed (diagnostics).
+    fetches: u64,
+    failures: u64,
+}
+
+impl PrefetchWindow {
+    /// A window for a node with download bandwidth `my_bandwidth`.
+    pub fn new(cfg: WindowConfig, my_bandwidth: Kbps) -> Self {
+        PrefetchWindow {
+            cfg,
+            my_bandwidth,
+            failure_rate: 0.0,
+            fetches: 0,
+            failures: 0,
+        }
+    }
+
+    /// Records a successful chunk fetch.
+    pub fn record_success(&mut self) {
+        self.fetches += 1;
+        self.failure_rate *= 1.0 - self.cfg.failure_alpha;
+    }
+
+    /// Records a failed chunk fetch (timeout / busy provider).
+    pub fn record_failure(&mut self) {
+        self.fetches += 1;
+        self.failures += 1;
+        self.failure_rate =
+            self.failure_rate * (1.0 - self.cfg.failure_alpha) + self.cfg.failure_alpha;
+    }
+
+    /// The current failure estimate `p_f` in `[0, 1)`.
+    pub fn failure_rate(&self) -> f64 {
+        self.failure_rate
+    }
+
+    /// Lifetime totals `(fetches, failures)`.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.fetches, self.failures)
+    }
+
+    /// Eq. 2: the adapted window size in chunks, clamped to
+    /// `[min_chunks, max_chunks]`.
+    pub fn size_chunks(&self) -> u32 {
+        let b = self.my_bandwidth.0.max(1) as f64;
+        let big_b = self.cfg.avg_bandwidth.0.max(1) as f64;
+        let pf = self.failure_rate.clamp(0.0, 0.99);
+        let w = self.cfg.base_chunks as f64 * big_b / (b * (1.0 - pf));
+        (w.ceil() as u32).clamp(self.cfg.min_chunks, self.cfg.max_chunks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WindowConfig {
+        WindowConfig::default()
+    }
+
+    #[test]
+    fn average_node_gets_base_window() {
+        let w = PrefetchWindow::new(cfg(), Kbps(600));
+        assert_eq!(w.size_chunks(), 10, "b = B, p_f = 0 ⇒ W");
+    }
+
+    #[test]
+    fn slower_node_gets_larger_window() {
+        let slow = PrefetchWindow::new(cfg(), Kbps(300));
+        let fast = PrefetchWindow::new(cfg(), Kbps(1200));
+        assert_eq!(slow.size_chunks(), 20, "half bandwidth ⇒ double window");
+        assert!(fast.size_chunks() < 10);
+        assert!(fast.size_chunks() >= cfg().min_chunks);
+    }
+
+    #[test]
+    fn failures_grow_the_window() {
+        let mut w = PrefetchWindow::new(cfg(), Kbps(600));
+        let before = w.size_chunks();
+        for _ in 0..20 {
+            w.record_failure();
+        }
+        assert!(w.failure_rate() > 0.9);
+        assert!(w.size_chunks() > before * 5, "p_f → 1 inflates the window");
+        // Successes shrink it back.
+        for _ in 0..40 {
+            w.record_success();
+        }
+        assert!(w.failure_rate() < 0.01);
+        assert!(w.size_chunks() <= before + 1, "residual ε only adds ≤1 chunk");
+    }
+
+    #[test]
+    fn window_is_clamped() {
+        let mut w = PrefetchWindow::new(cfg(), Kbps(10)); // absurdly slow
+        assert_eq!(w.size_chunks(), cfg().max_chunks);
+        for _ in 0..50 {
+            w.record_failure();
+        }
+        assert_eq!(w.size_chunks(), cfg().max_chunks);
+
+        let w = PrefetchWindow::new(cfg(), Kbps(1_000_000)); // absurdly fast
+        assert_eq!(w.size_chunks(), cfg().min_chunks);
+    }
+
+    #[test]
+    fn totals_track_outcomes() {
+        let mut w = PrefetchWindow::new(cfg(), Kbps(600));
+        w.record_success();
+        w.record_failure();
+        w.record_success();
+        assert_eq!(w.totals(), (3, 1));
+    }
+
+    #[test]
+    fn zero_bandwidth_does_not_divide_by_zero() {
+        let w = PrefetchWindow::new(cfg(), Kbps(0));
+        assert_eq!(w.size_chunks(), cfg().max_chunks);
+    }
+}

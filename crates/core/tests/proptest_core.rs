@@ -1,0 +1,139 @@
+//! Property tests for DCO's core data structures: index-table selection,
+//! the adaptive window (Eq. 2), buffer maps and chunk naming.
+
+use dco_core::buffer::BufferMap;
+use dco_core::chunk::{ChunkNamer, ChunkSeq};
+use dco_core::index::{ChunkIndex, IndexTable, SelectPolicy};
+use dco_core::window::{PrefetchWindow, WindowConfig};
+use dco_dht::id::ChordId;
+use dco_sim::net::Kbps;
+use dco_sim::node::NodeId;
+use dco_sim::time::SimDuration;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Selection never returns an excluded holder and, under the paper's
+    /// rule, returns a sufficient provider whenever one qualifies.
+    #[test]
+    fn selection_respects_exclusion_and_floor(
+        providers in vec((0u32..32, 0u32..1200), 1..24),
+        excluded in vec(0u32..32, 0..6),
+        floor in 100u32..800,
+        seed: u64,
+    ) {
+        let key = ChordId(7);
+        let mut table = IndexTable::new();
+        for &(holder, avail) in &providers {
+            table.register(key, ChunkIndex {
+                seq: ChunkSeq(0),
+                holder: NodeId(holder),
+                avail: Kbps(avail),
+                held_count: 1,
+            });
+        }
+        let excl: Vec<NodeId> = excluded.iter().map(|&n| NodeId(n)).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for policy in [
+            SelectPolicy::SufficientBandwidth,
+            SelectPolicy::Random,
+            SelectPolicy::LeastLoaded,
+        ] {
+            if let Some(pick) = table.select(key, Kbps(floor), policy, &excl, &mut rng) {
+                prop_assert!(!excl.contains(&pick.holder), "{policy:?} returned excluded");
+                prop_assert!(
+                    providers.iter().any(|&(h, _)| NodeId(h) == pick.holder),
+                    "{policy:?} invented a provider"
+                );
+            } else {
+                // None is only allowed when every provider is excluded.
+                prop_assert!(
+                    providers.iter().all(|&(h, _)| excl.contains(&NodeId(h))),
+                    "{policy:?} returned None with candidates available"
+                );
+            }
+        }
+        // The paper's rule must return a sufficient provider when any
+        // non-excluded candidate clears the floor. Registration refreshes
+        // in place, so only each holder's LAST advertisement counts.
+        let mut last: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for &(h, a) in &providers {
+            last.insert(h, a);
+        }
+        let any_sufficient = last
+            .iter()
+            .any(|(&h, &a)| a >= floor && !excl.contains(&NodeId(h)));
+        if any_sufficient {
+            let pick = table
+                .select(key, Kbps(floor), SelectPolicy::SufficientBandwidth, &excl, &mut rng)
+                .unwrap();
+            // The registry may hold several entries per holder id after
+            // registration refresh; verify via the pick's own record.
+            prop_assert!(pick.avail >= Kbps(floor), "picked {pick:?} below floor");
+        }
+    }
+
+    /// Eq. 2 monotonicity: the window never shrinks when bandwidth drops or
+    /// the failure estimate rises, and is always within the clamps.
+    #[test]
+    fn window_is_monotone_and_clamped(
+        b1 in 50u32..2000,
+        b2 in 50u32..2000,
+        failures in 0usize..30,
+    ) {
+        let cfg = WindowConfig::default();
+        let (slow, fast) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let w_slow = PrefetchWindow::new(cfg.clone(), Kbps(slow)).size_chunks();
+        let w_fast = PrefetchWindow::new(cfg.clone(), Kbps(fast)).size_chunks();
+        prop_assert!(w_slow >= w_fast, "slower node must not get a smaller window");
+
+        let mut w = PrefetchWindow::new(cfg.clone(), Kbps(600));
+        let before = w.size_chunks();
+        for _ in 0..failures {
+            w.record_failure();
+        }
+        let after = w.size_chunks();
+        prop_assert!(after >= before, "failures must not shrink the window");
+        prop_assert!(after >= cfg.min_chunks && after <= cfg.max_chunks);
+    }
+
+    /// Buffer-map algebra: held + missing partitions any range.
+    #[test]
+    fn buffer_map_partitions_ranges(
+        held in vec(0u32..300, 0..80),
+        from in 0u32..300,
+        len in 0u32..100,
+    ) {
+        let mut m = BufferMap::new(300);
+        for &s in &held {
+            m.insert(ChunkSeq(s));
+        }
+        let to = from.saturating_add(len).min(299);
+        prop_assume!(from <= to);
+        let missing = m.missing_in(ChunkSeq(from), ChunkSeq(to));
+        for s in from..=to {
+            let is_missing = missing.contains(&ChunkSeq(s));
+            prop_assert_eq!(is_missing, !m.has(ChunkSeq(s)));
+        }
+        // held_count equals the number of distinct inserted seqs.
+        let distinct: std::collections::HashSet<u32> = held.iter().copied().collect();
+        prop_assert_eq!(m.held_count(), distinct.len());
+    }
+
+    /// Chunk names (and thus ring IDs) are unique per sequence number for
+    /// any base timestamp.
+    #[test]
+    fn chunk_names_are_unique(base in 1u64..10_000_000_000, n in 1u32..128) {
+        let namer = ChunkNamer::new("X", base, SimDuration::from_secs(1), n);
+        let mut names = std::collections::HashSet::new();
+        let mut ids = std::collections::HashSet::new();
+        for s in 0..n {
+            prop_assert!(names.insert(namer.name_of(ChunkSeq(s))));
+            prop_assert!(ids.insert(namer.id_of(ChunkSeq(s))));
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The finger table.
+//!
+//! Finger `k` of a node at `n` points at `successor(n + 2^k)`; greedy
+//! routing forwards a lookup to the **closest preceding finger** of the key,
+//! halving the remaining ring distance each hop — that is where Chord's
+//! `log n` hop bound comes from.
+
+use dco_sim::node::NodeId;
+
+use crate::id::{ChordId, Peer, ID_BITS};
+
+/// A node's finger table (64 entries for the 64-bit ring).
+#[derive(Clone, Debug)]
+pub struct FingerTable {
+    me: ChordId,
+    fingers: Vec<Option<Peer>>,
+}
+
+impl FingerTable {
+    /// An empty table owned by `me`.
+    pub fn new(me: ChordId) -> Self {
+        FingerTable {
+            me,
+            fingers: vec![None; ID_BITS as usize],
+        }
+    }
+
+    /// The owner's ring position.
+    pub fn me(&self) -> ChordId {
+        self.me
+    }
+
+    /// The start of finger `k`: `me + 2^k`.
+    pub fn start(&self, k: u32) -> ChordId {
+        self.me.finger_start(k)
+    }
+
+    /// Sets finger `k` (the successor of `start(k)` as discovered by a
+    /// lookup).
+    pub fn set(&mut self, k: u32, peer: Peer) {
+        self.fingers[k as usize] = Some(peer);
+    }
+
+    /// Clears finger `k`.
+    pub fn clear(&mut self, k: u32) {
+        self.fingers[k as usize] = None;
+    }
+
+    /// Current entry of finger `k`.
+    pub fn get(&self, k: u32) -> Option<Peer> {
+        self.fingers[k as usize]
+    }
+
+    /// Number of populated entries.
+    pub fn populated(&self) -> usize {
+        self.fingers.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Offers a peer opportunistically: it becomes finger `k` whenever it
+    /// lies in `[start(k), me)` and is closer to `start(k)` than the current
+    /// entry. (Cheap ring repair without a lookup per finger.)
+    pub fn offer(&mut self, p: Peer) {
+        if p.id == self.me {
+            return;
+        }
+        for k in 0..ID_BITS {
+            let start = self.start(k);
+            // p can serve finger k only if p ∈ [start, me) clockwise.
+            if !p.id.in_closed_open(start, self.me) {
+                continue;
+            }
+            match self.fingers[k as usize] {
+                None => self.fingers[k as usize] = Some(p),
+                Some(cur) => {
+                    // Closer to start = better approximation of
+                    // successor(start).
+                    if start.distance_to(p.id) < start.distance_to(cur.id) {
+                        self.fingers[k as usize] = Some(p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops every finger pointing at `node` (declared dead). Returns how
+    /// many entries were cleared.
+    pub fn remove_node(&mut self, node: NodeId) -> usize {
+        let mut cleared = 0;
+        for f in &mut self.fingers {
+            if f.map(|p| p.node == node).unwrap_or(false) {
+                *f = None;
+                cleared += 1;
+            }
+        }
+        cleared
+    }
+
+    /// The populated finger whose ID most closely **precedes** `key`
+    /// clockwise from `me` — the next hop of greedy Chord routing. Returns
+    /// `None` if no finger lies strictly between `me` and `key`.
+    pub fn closest_preceding(&self, key: ChordId) -> Option<Peer> {
+        // Scan from the farthest finger down; the first one inside
+        // (me, key) is the closest preceding by construction.
+        for f in self.fingers.iter().rev().flatten() {
+            if f.id.in_open(self.me, key) {
+                return Some(*f);
+            }
+        }
+        None
+    }
+
+    /// Iterates over distinct populated fingers (deduplicated by node).
+    pub fn distinct_peers(&self) -> Vec<Peer> {
+        let mut out: Vec<Peer> = Vec::new();
+        for f in self.fingers.iter().flatten() {
+            if !out.iter().any(|p| p.node == f.node) {
+                out.push(*f);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(id: u64, node: u32) -> Peer {
+        Peer::new(ChordId(id), NodeId(node))
+    }
+
+    #[test]
+    fn starts_are_powers_of_two() {
+        let t = FingerTable::new(ChordId(100));
+        assert_eq!(t.start(0), ChordId(101));
+        assert_eq!(t.start(10), ChordId(100 + 1024));
+        assert_eq!(t.me(), ChordId(100));
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut t = FingerTable::new(ChordId(0));
+        assert_eq!(t.get(5), None);
+        t.set(5, peer(40, 4));
+        assert_eq!(t.get(5), Some(peer(40, 4)));
+        assert_eq!(t.populated(), 1);
+        t.clear(5);
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.populated(), 0);
+    }
+
+    #[test]
+    fn offer_fills_covering_fingers() {
+        let mut t = FingerTable::new(ChordId(0));
+        // Peer at 100 covers fingers with start ≤ 100, i.e. k = 0..=6
+        // (starts 1,2,4,...,64); start 128 > 100 so k=7 not covered.
+        t.offer(peer(100, 1));
+        for k in 0..=6 {
+            assert_eq!(t.get(k), Some(peer(100, 1)), "finger {k}");
+        }
+        assert_eq!(t.get(7), None);
+        // All higher fingers wrap-around-cover too: start(63) .. me covers
+        // 100? start(63) = 2^63, interval [2^63, 0) excludes 100.
+        assert_eq!(t.get(63), None);
+    }
+
+    #[test]
+    fn offer_prefers_closer_to_start() {
+        let mut t = FingerTable::new(ChordId(0));
+        t.offer(peer(100, 1));
+        t.offer(peer(50, 2)); // closer to the small starts
+        for k in 0..=5 {
+            assert_eq!(t.get(k).unwrap().node, NodeId(2), "finger {k}");
+        }
+        assert_eq!(t.get(6).unwrap().node, NodeId(1), "start 64: 100 wins");
+    }
+
+    #[test]
+    fn offer_ignores_self() {
+        let mut t = FingerTable::new(ChordId(0));
+        t.offer(peer(0, 9));
+        assert_eq!(t.populated(), 0);
+    }
+
+    #[test]
+    fn closest_preceding_picks_farthest_below_key() {
+        let mut t = FingerTable::new(ChordId(0));
+        t.set(3, peer(8, 1));
+        t.set(6, peer(70, 2));
+        t.set(10, peer(1500, 3));
+        let hop = t.closest_preceding(ChordId(1000)).unwrap();
+        assert_eq!(hop.node, NodeId(2), "70 is the closest preceding 1000");
+        let hop = t.closest_preceding(ChordId(9)).unwrap();
+        assert_eq!(hop.node, NodeId(1));
+        assert_eq!(t.closest_preceding(ChordId(5)), None, "no finger in (0,5)");
+    }
+
+    #[test]
+    fn closest_preceding_handles_wrap() {
+        let mut t = FingerTable::new(ChordId(u64::MAX - 10));
+        t.offer(peer(5, 1)); // just past zero
+        let hop = t.closest_preceding(ChordId(100)).unwrap();
+        assert_eq!(hop.node, NodeId(1));
+    }
+
+    #[test]
+    fn remove_node_clears_all_entries() {
+        let mut t = FingerTable::new(ChordId(0));
+        t.offer(peer(100, 1));
+        let cleared = t.remove_node(NodeId(1));
+        assert!(cleared >= 7);
+        assert_eq!(t.populated(), 0);
+        assert_eq!(t.remove_node(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn distinct_peers_deduplicates() {
+        let mut t = FingerTable::new(ChordId(0));
+        t.offer(peer(100, 1));
+        t.offer(peer(1 << 20, 2));
+        let d = t.distinct_peers();
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Consistent hashing onto the Chord ring.
+//!
+//! The paper assigns "each node and file … a unique ID which is the
+//! consistent hash value of its IP address or file name". We use FNV-1a
+//! (64-bit) followed by a SplitMix64 finalizer: FNV gives a stable,
+//! dependency-free string hash, and the finalizer scrubs FNV's weak low bits
+//! so IDs spread uniformly around the ring — the property consistent hashing
+//! needs for its `log n` load-imbalance bound.
+
+use dco_sim::node::NodeId;
+use dco_sim::rng::splitmix64;
+
+use crate::id::ChordId;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over raw bytes (no finalizer).
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hashes arbitrary bytes to a ring position.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> ChordId {
+    ChordId(splitmix64(fnv1a(bytes)))
+}
+
+/// Hashes a textual name (e.g. a chunk name like `CNN0240`) to a ring
+/// position.
+#[inline]
+pub fn hash_name(name: &str) -> ChordId {
+    hash_bytes(name.as_bytes())
+}
+
+/// Hashes a simulator node id to a ring position (stand-in for hashing the
+/// node's IP address).
+#[inline]
+pub fn hash_node(node: NodeId) -> ChordId {
+    ChordId(splitmix64(
+        (node.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x6e6f_6465, // "node"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_name("CNN0240"), hash_name("CNN0240"));
+        assert_eq!(hash_node(NodeId(7)), hash_node(NodeId(7)));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_ids() {
+        assert_ne!(hash_name("CNN0240"), hash_name("CNN0241"));
+        assert_ne!(hash_node(NodeId(1)), hash_node(NodeId(2)));
+        assert_ne!(hash_name("abc"), hash_bytes(b"abd"));
+    }
+
+    #[test]
+    fn sequential_chunk_names_spread_uniformly() {
+        // Chunk names are near-sequential strings; the finalized hash must
+        // still spread them across the ring. Check quadrant occupancy.
+        let mut quadrant = [0usize; 4];
+        for i in 0..4000 {
+            let id = hash_name(&format!("CNN{i:04}"));
+            quadrant[(id.0 >> 62) as usize] += 1;
+        }
+        for &q in &quadrant {
+            assert!((800..1200).contains(&q), "skewed quadrants: {quadrant:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_node_ids_spread_uniformly() {
+        let mut quadrant = [0usize; 4];
+        for i in 0..4000u32 {
+            let id = hash_node(NodeId(i));
+            quadrant[(id.0 >> 62) as usize] += 1;
+        }
+        for &q in &quadrant {
+            assert!((800..1200).contains(&q), "skewed quadrants: {quadrant:?}");
+        }
+    }
+
+    #[test]
+    fn no_collisions_among_realistic_populations() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..10_000u32 {
+            assert!(seen.insert(hash_node(NodeId(i))), "node hash collision at {i}");
+        }
+        let mut seen = HashSet::new();
+        for i in 0..10_000 {
+            assert!(
+                seen.insert(hash_name(&format!("NBC2009010101{i:04}"))),
+                "chunk hash collision at {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Chord identifier arithmetic.
+//!
+//! Chord places nodes and keys on a ring of 2^m points; we use m = 64 so an
+//! ID is a plain `u64` and all arithmetic is wrapping. Everything in Chord
+//! reduces to two primitives implemented here:
+//!
+//! * clockwise **distance** from `a` to `b`, and
+//! * clockwise **interval membership** — is `x` strictly between `a` and `b`
+//!   walking clockwise? (With open/closed variants for each endpoint.)
+//!
+//! The subtle case is a *wrapping* interval (`a > b` numerically) and the
+//! degenerate case `a == b`, which by Chord convention denotes the whole
+//! ring (minus the endpoints as dictated by openness).
+
+use core::fmt;
+
+use dco_sim::node::NodeId;
+
+/// Number of bits in the identifier space (m in the Chord paper).
+pub const ID_BITS: u32 = 64;
+
+/// A point on the Chord ring.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChordId(pub u64);
+
+impl ChordId {
+    /// Clockwise distance from `self` to `to` (0 when equal).
+    #[inline]
+    pub const fn distance_to(self, to: ChordId) -> u64 {
+        to.0.wrapping_sub(self.0)
+    }
+
+    /// The point `2^k` steps clockwise from `self` — the start of finger
+    /// `k`. `k` must be below [`ID_BITS`].
+    #[inline]
+    pub const fn finger_start(self, k: u32) -> ChordId {
+        ChordId(self.0.wrapping_add(1u64 << k))
+    }
+
+    /// True if `self` lies in the **open** clockwise interval `(a, b)`.
+    ///
+    /// When `a == b` the interval is the full ring minus the endpoint.
+    #[inline]
+    pub fn in_open(self, a: ChordId, b: ChordId) -> bool {
+        if a == b {
+            self != a
+        } else {
+            a.distance_to(self) > 0 && a.distance_to(self) < a.distance_to(b)
+        }
+    }
+
+    /// True if `self` lies in the clockwise **half-open** interval `(a, b]`.
+    ///
+    /// This is the ownership interval: node `b` owns exactly the keys in
+    /// `(predecessor(b), b]`. When `a == b` the interval is the full ring.
+    #[inline]
+    pub fn in_open_closed(self, a: ChordId, b: ChordId) -> bool {
+        if a == b {
+            true
+        } else {
+            let d = a.distance_to(self);
+            d > 0 && d <= a.distance_to(b)
+        }
+    }
+
+    /// True if `self` lies in the clockwise **half-open** interval `[a, b)`.
+    #[inline]
+    pub fn in_closed_open(self, a: ChordId, b: ChordId) -> bool {
+        if a == b {
+            true
+        } else {
+            a.distance_to(self) < a.distance_to(b)
+        }
+    }
+}
+
+impl fmt::Debug for ChordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for ChordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:016x}", self.0)
+    }
+}
+
+/// A ring member: its Chord ID plus the simulator address to reach it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Peer {
+    /// Position on the ring.
+    pub id: ChordId,
+    /// Simulator address.
+    pub node: NodeId,
+}
+
+impl Peer {
+    /// Convenience constructor.
+    pub const fn new(id: ChordId, node: NodeId) -> Self {
+        Peer { id, node }
+    }
+}
+
+impl fmt::Debug for Peer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.node, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ChordId = ChordId(100);
+    const B: ChordId = ChordId(200);
+
+    #[test]
+    fn distance_wraps() {
+        assert_eq!(A.distance_to(B), 100);
+        assert_eq!(B.distance_to(A), u64::MAX - 100 + 1);
+        assert_eq!(A.distance_to(A), 0);
+    }
+
+    #[test]
+    fn finger_starts() {
+        assert_eq!(A.finger_start(0), ChordId(101));
+        assert_eq!(A.finger_start(3), ChordId(108));
+        // Wrapping near the top of the space.
+        assert_eq!(ChordId(u64::MAX).finger_start(0), ChordId(0));
+    }
+
+    #[test]
+    fn open_interval_simple() {
+        assert!(ChordId(150).in_open(A, B));
+        assert!(!ChordId(100).in_open(A, B), "left endpoint excluded");
+        assert!(!ChordId(200).in_open(A, B), "right endpoint excluded");
+        assert!(!ChordId(250).in_open(A, B));
+        assert!(!ChordId(50).in_open(A, B));
+    }
+
+    #[test]
+    fn open_interval_wrapping() {
+        // (200, 100) crosses zero.
+        assert!(ChordId(250).in_open(B, A));
+        assert!(ChordId(0).in_open(B, A));
+        assert!(ChordId(99).in_open(B, A));
+        assert!(!ChordId(150).in_open(B, A));
+        assert!(!ChordId(200).in_open(B, A));
+        assert!(!ChordId(100).in_open(B, A));
+    }
+
+    #[test]
+    fn open_interval_degenerate_is_ring_minus_point() {
+        assert!(ChordId(5).in_open(A, A));
+        assert!(!ChordId(100).in_open(A, A));
+    }
+
+    #[test]
+    fn open_closed_interval() {
+        assert!(ChordId(150).in_open_closed(A, B));
+        assert!(ChordId(200).in_open_closed(A, B), "right endpoint included");
+        assert!(!ChordId(100).in_open_closed(A, B), "left endpoint excluded");
+        assert!(!ChordId(201).in_open_closed(A, B));
+        // Wrapping.
+        assert!(ChordId(100).in_open_closed(B, A));
+        assert!(ChordId(0).in_open_closed(B, A));
+        assert!(!ChordId(200).in_open_closed(B, A));
+        // Degenerate = whole ring.
+        assert!(ChordId(100).in_open_closed(A, A));
+        assert!(ChordId(0).in_open_closed(A, A));
+    }
+
+    #[test]
+    fn closed_open_interval() {
+        assert!(ChordId(100).in_closed_open(A, B), "left endpoint included");
+        assert!(ChordId(150).in_closed_open(A, B));
+        assert!(!ChordId(200).in_closed_open(A, B), "right endpoint excluded");
+        assert!(ChordId(0).in_closed_open(B, A));
+        assert!(ChordId(42).in_closed_open(A, A), "degenerate = whole ring");
+    }
+
+    #[test]
+    fn ownership_partition_is_exact() {
+        // Three nodes partition the ring into disjoint ownership arcs.
+        let nodes = [ChordId(10), ChordId(1_000), ChordId(u64::MAX - 5)];
+        for key in [0u64, 9, 10, 11, 500, 1_000, 1_001, u64::MAX - 6, u64::MAX] {
+            let key = ChordId(key);
+            let owners: Vec<_> = (0..3)
+                .filter(|&i| {
+                    let pred = nodes[(i + 2) % 3];
+                    key.in_open_closed(pred, nodes[i])
+                })
+                .collect();
+            assert_eq!(owners.len(), 1, "key {key:?} must have exactly one owner");
+        }
+    }
+
+    #[test]
+    fn peer_debug_format() {
+        let p = Peer::new(ChordId(0xff), NodeId(3));
+        assert_eq!(format!("{p:?}"), "N3@#00000000000000ff");
+    }
+}

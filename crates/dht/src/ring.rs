@@ -1,0 +1,196 @@
+//! An omniscient ring oracle.
+//!
+//! [`OracleRing`] is the ground truth for tests, the static builder for the
+//! no-churn experiments (the paper's §IV setting has *all* nodes in the DHT
+//! from the start), and the reference implementation that property tests
+//! compare the message-driven Chord against.
+
+use std::collections::BTreeMap;
+
+use dco_sim::node::NodeId;
+
+use crate::id::{ChordId, Peer};
+
+/// A sorted view of all live ring members.
+#[derive(Clone, Debug, Default)]
+pub struct OracleRing {
+    members: BTreeMap<ChordId, NodeId>,
+}
+
+impl OracleRing {
+    /// An empty ring.
+    pub fn new() -> Self {
+        OracleRing::default()
+    }
+
+    /// Builds a ring from `(id, node)` pairs.
+    pub fn from_members(members: impl IntoIterator<Item = Peer>) -> Self {
+        let mut r = OracleRing::new();
+        for p in members {
+            r.insert(p);
+        }
+        r
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Adds a member; returns `false` if the ID was already present.
+    pub fn insert(&mut self, p: Peer) -> bool {
+        self.members.insert(p.id, p.node).is_none()
+    }
+
+    /// Removes a member by ID; returns `true` if it was present.
+    pub fn remove(&mut self, id: ChordId) -> bool {
+        self.members.remove(&id).is_some()
+    }
+
+    /// Removes a member by simulator address.
+    pub fn remove_node(&mut self, node: NodeId) -> bool {
+        let key = self
+            .members
+            .iter()
+            .find(|(_, &n)| n == node)
+            .map(|(&id, _)| id);
+        match key {
+            Some(id) => self.members.remove(&id).is_some(),
+            None => false,
+        }
+    }
+
+    /// True if the ID is a member.
+    pub fn contains(&self, id: ChordId) -> bool {
+        self.members.contains_key(&id)
+    }
+
+    /// The owner of `key`: the first member clockwise at or after `key`
+    /// (wrapping). `None` on an empty ring.
+    pub fn owner(&self, key: ChordId) -> Option<Peer> {
+        self.members
+            .range(key..)
+            .next()
+            .or_else(|| self.members.iter().next())
+            .map(|(&id, &node)| Peer::new(id, node))
+    }
+
+    /// The member strictly after `id` clockwise (wrapping).
+    pub fn successor(&self, id: ChordId) -> Option<Peer> {
+        self.members
+            .range(ChordId(id.0.wrapping_add(1))..)
+            .next()
+            .or_else(|| self.members.iter().next())
+            .map(|(&i, &n)| Peer::new(i, n))
+    }
+
+    /// The member strictly before `id` counter-clockwise (wrapping).
+    pub fn predecessor(&self, id: ChordId) -> Option<Peer> {
+        self.members
+            .range(..id)
+            .next_back()
+            .or_else(|| self.members.iter().next_back())
+            .map(|(&i, &n)| Peer::new(i, n))
+    }
+
+    /// The `k` members strictly after `id` clockwise, in order (fewer if the
+    /// ring is small; never includes `id` itself).
+    pub fn successors(&self, id: ChordId, k: usize) -> Vec<Peer> {
+        let mut out = Vec::with_capacity(k);
+        let mut cur = id;
+        for _ in 0..k.min(self.members.len()) {
+            match self.successor(cur) {
+                Some(p) if p.id != id => {
+                    out.push(p);
+                    cur = p.id;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// All members in ID order.
+    pub fn iter(&self) -> impl Iterator<Item = Peer> + '_ {
+        self.members.iter().map(|(&id, &n)| Peer::new(id, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(id: u64, node: u32) -> Peer {
+        Peer::new(ChordId(id), NodeId(node))
+    }
+
+    fn ring() -> OracleRing {
+        OracleRing::from_members([peer(10, 1), peer(100, 2), peer(1000, 3)])
+    }
+
+    #[test]
+    fn owner_is_first_at_or_after() {
+        let r = ring();
+        assert_eq!(r.owner(ChordId(10)).unwrap().node, NodeId(1), "exact hit");
+        assert_eq!(r.owner(ChordId(11)).unwrap().node, NodeId(2));
+        assert_eq!(r.owner(ChordId(100)).unwrap().node, NodeId(2));
+        assert_eq!(r.owner(ChordId(999)).unwrap().node, NodeId(3));
+        assert_eq!(r.owner(ChordId(1001)).unwrap().node, NodeId(1), "wraps");
+        assert_eq!(r.owner(ChordId(0)).unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn successor_and_predecessor_wrap() {
+        let r = ring();
+        assert_eq!(r.successor(ChordId(10)).unwrap().id, ChordId(100));
+        assert_eq!(r.successor(ChordId(1000)).unwrap().id, ChordId(10));
+        assert_eq!(r.predecessor(ChordId(10)).unwrap().id, ChordId(1000));
+        assert_eq!(r.predecessor(ChordId(1000)).unwrap().id, ChordId(100));
+        // Non-member query points still work.
+        assert_eq!(r.successor(ChordId(50)).unwrap().id, ChordId(100));
+        assert_eq!(r.predecessor(ChordId(50)).unwrap().id, ChordId(10));
+    }
+
+    #[test]
+    fn successors_list() {
+        let r = ring();
+        let s = r.successors(ChordId(10), 2);
+        assert_eq!(s.iter().map(|p| p.id.0).collect::<Vec<_>>(), vec![100, 1000]);
+        // Asking for more than the ring holds stops before self.
+        let s = r.successors(ChordId(10), 10);
+        assert_eq!(s.len(), 2, "never includes the queried id");
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut r = ring();
+        assert!(!r.insert(peer(10, 9)), "duplicate id rejected");
+        assert!(r.insert(peer(500, 4)));
+        assert_eq!(r.len(), 4);
+        assert!(r.remove(ChordId(500)));
+        assert!(!r.remove(ChordId(500)));
+        assert!(r.remove_node(NodeId(3)));
+        assert!(!r.remove_node(NodeId(3)));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(ChordId(10)));
+        assert!(!r.contains(ChordId(1000)));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut r = OracleRing::new();
+        assert!(r.is_empty());
+        assert_eq!(r.owner(ChordId(5)), None);
+        assert_eq!(r.successor(ChordId(5)), None);
+        r.insert(peer(42, 7));
+        assert_eq!(r.owner(ChordId(5)).unwrap().node, NodeId(7));
+        assert_eq!(r.successor(ChordId(42)).unwrap().id, ChordId(42), "self-loop");
+        assert_eq!(r.predecessor(ChordId(42)).unwrap().id, ChordId(42));
+        assert!(r.successors(ChordId(42), 3).is_empty());
+    }
+}

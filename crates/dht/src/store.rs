@@ -1,0 +1,201 @@
+//! Key-addressed storage with ring-range transfer.
+//!
+//! A Chord node stores the values whose keys fall in its ownership arc
+//! `(predecessor, me]`. On membership change, a contiguous **clockwise
+//! range** of keys moves to a new owner; [`KeyStore::extract_range`]
+//! implements that split (including the wrap-around case).
+//!
+//! Values are multi-valued per key because DCO stores *many* chunk indices
+//! under one chunk ID (one per provider).
+
+use std::collections::BTreeMap;
+
+use crate::id::ChordId;
+
+/// Multi-valued storage keyed by ring position.
+#[derive(Clone, Debug)]
+pub struct KeyStore<V> {
+    map: BTreeMap<ChordId, Vec<V>>,
+}
+
+impl<V> Default for KeyStore<V> {
+    fn default() -> Self {
+        KeyStore { map: BTreeMap::new() }
+    }
+}
+
+impl<V> KeyStore<V> {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a value under `key`.
+    pub fn insert(&mut self, key: ChordId, value: V) {
+        self.map.entry(key).or_default().push(value);
+    }
+
+    /// All values under `key` (empty slice if absent).
+    pub fn get(&self, key: ChordId) -> &[V] {
+        self.map.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mutable access to the values under `key`, if any.
+    pub fn get_mut(&mut self, key: ChordId) -> Option<&mut Vec<V>> {
+        self.map.get_mut(&key)
+    }
+
+    /// Removes every value under `key`, returning them.
+    pub fn remove_key(&mut self, key: ChordId) -> Vec<V> {
+        self.map.remove(&key).unwrap_or_default()
+    }
+
+    /// Keeps only the values for which `pred` holds; drops emptied keys.
+    pub fn retain_values(&mut self, mut pred: impl FnMut(ChordId, &V) -> bool) {
+        self.map.retain(|&k, vs| {
+            vs.retain(|v| pred(k, v));
+            !vs.is_empty()
+        });
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of stored values.
+    pub fn value_count(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(key, values)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (ChordId, &[V])> + '_ {
+        self.map.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Removes and returns every entry whose key lies in the clockwise
+    /// half-open arc `(from, to]` — the ownership range handed to a new
+    /// owner. Handles wrap-around; when `from == to` the whole store moves
+    /// (single-member ring convention).
+    pub fn extract_range(&mut self, from: ChordId, to: ChordId) -> Vec<(ChordId, Vec<V>)> {
+        let keys: Vec<ChordId> = self
+            .map
+            .keys()
+            .copied()
+            .filter(|k| k.in_open_closed(from, to))
+            .collect();
+        keys.into_iter()
+            .map(|k| (k, self.map.remove(&k).unwrap()))
+            .collect()
+    }
+
+    /// Bulk-inserts entries produced by [`KeyStore::extract_range`] on
+    /// another node.
+    pub fn absorb(&mut self, entries: Vec<(ChordId, Vec<V>)>) {
+        for (k, vs) in entries {
+            self.map.entry(k).or_default().extend(vs);
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> KeyStore<&'static str> {
+        let mut s = KeyStore::new();
+        s.insert(ChordId(10), "a");
+        s.insert(ChordId(10), "b");
+        s.insert(ChordId(100), "c");
+        s.insert(ChordId(1000), "d");
+        s
+    }
+
+    #[test]
+    fn insert_get_multivalue() {
+        let s = store();
+        assert_eq!(s.get(ChordId(10)), &["a", "b"]);
+        assert_eq!(s.get(ChordId(100)), &["c"]);
+        assert_eq!(s.get(ChordId(5)), &[] as &[&str]);
+        assert_eq!(s.key_count(), 3);
+        assert_eq!(s.value_count(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn remove_key() {
+        let mut s = store();
+        assert_eq!(s.remove_key(ChordId(10)), vec!["a", "b"]);
+        assert!(s.remove_key(ChordId(10)).is_empty());
+        assert_eq!(s.key_count(), 2);
+    }
+
+    #[test]
+    fn retain_values_drops_empty_keys() {
+        let mut s = store();
+        s.retain_values(|_, v| *v != "a" && *v != "c");
+        assert_eq!(s.get(ChordId(10)), &["b"]);
+        assert_eq!(s.key_count(), 2, "key 100 dropped once emptied");
+    }
+
+    #[test]
+    fn extract_simple_range() {
+        let mut s = store();
+        let moved = s.extract_range(ChordId(10), ChordId(100));
+        // (10, 100]: only key 100 (10 itself excluded).
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].0, ChordId(100));
+        assert_eq!(s.key_count(), 2);
+    }
+
+    #[test]
+    fn extract_wrapping_range() {
+        let mut s = store();
+        // (1000, 10] wraps through zero: moves key 10 only.
+        let moved = s.extract_range(ChordId(1000), ChordId(10));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].0, ChordId(10));
+    }
+
+    #[test]
+    fn extract_full_ring_when_degenerate() {
+        let mut s = store();
+        let moved = s.extract_range(ChordId(7), ChordId(7));
+        assert_eq!(moved.len(), 3, "from == to moves everything");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = store();
+        let mut b = KeyStore::new();
+        b.insert(ChordId(100), "x");
+        b.absorb(a.extract_range(ChordId(10), ChordId(100)));
+        assert_eq!(b.get(ChordId(100)), &["x", "c"]);
+    }
+
+    #[test]
+    fn iter_in_key_order() {
+        let s = store();
+        let keys: Vec<u64> = s.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![10, 100, 1000]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = store();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.value_count(), 0);
+    }
+}

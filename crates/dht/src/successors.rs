@@ -1,0 +1,196 @@
+//! The successor list.
+//!
+//! Chord's resilience to churn comes from each node tracking not one
+//! successor but the next `r` nodes clockwise. If the immediate successor
+//! dies, the next list entry takes over; stabilization then repairs the rest.
+//!
+//! The list is kept **sorted by clockwise distance from the owner** and
+//! deduplicated; the head is always the current working successor. The DCO
+//! evaluation also reuses this list as the node's mesh-neighbor set ("we
+//! regard the neighbors in a node's successor list in DCO as the node's
+//! neighbors"), which is why the capacity is configurable up to the paper's
+//! 64.
+
+use dco_sim::node::NodeId;
+
+use crate::id::{ChordId, Peer};
+
+/// A bounded, sorted list of the nearest clockwise ring members.
+#[derive(Clone, Debug)]
+pub struct SuccessorList {
+    me: ChordId,
+    cap: usize,
+    list: Vec<Peer>,
+}
+
+impl SuccessorList {
+    /// An empty list owned by `me` holding at most `cap` entries.
+    pub fn new(me: ChordId, cap: usize) -> Self {
+        assert!(cap >= 1, "successor list needs capacity >= 1");
+        SuccessorList {
+            me,
+            cap,
+            list: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The owner's ring position.
+    pub fn me(&self) -> ChordId {
+        self.me
+    }
+
+    /// Maximum entries retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True if no successors are known.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// The working successor (nearest clockwise member), if any.
+    pub fn first(&self) -> Option<Peer> {
+        self.list.first().copied()
+    }
+
+    /// All entries, nearest first.
+    pub fn iter(&self) -> impl Iterator<Item = Peer> + '_ {
+        self.list.iter().copied()
+    }
+
+    /// Offers a candidate. It is inserted in distance order (ignoring the
+    /// owner itself and duplicates); the list is truncated to capacity.
+    /// Returns `true` if the candidate was retained.
+    pub fn offer(&mut self, p: Peer) -> bool {
+        if p.id == self.me {
+            return false;
+        }
+        if self.list.iter().any(|q| q.node == p.node || q.id == p.id) {
+            return false;
+        }
+        let d = self.me.distance_to(p.id);
+        let pos = self
+            .list
+            .partition_point(|q| self.me.distance_to(q.id) < d);
+        if pos >= self.cap {
+            return false;
+        }
+        self.list.insert(pos, p);
+        self.list.truncate(self.cap);
+        true
+    }
+
+    /// Merges every peer of `other` (a neighbor's shared list) plus the
+    /// neighbor itself.
+    pub fn merge(&mut self, from: Peer, other: &[Peer]) {
+        self.offer(from);
+        for &p in other {
+            self.offer(p);
+        }
+    }
+
+    /// Drops a peer by simulator address (e.g. after it is declared dead).
+    /// Returns `true` if an entry was removed.
+    pub fn remove_node(&mut self, node: NodeId) -> bool {
+        let before = self.list.len();
+        self.list.retain(|p| p.node != node);
+        self.list.len() != before
+    }
+
+    /// Removes and returns the working successor (promoting the next).
+    pub fn pop_first(&mut self) -> Option<Peer> {
+        if self.list.is_empty() {
+            None
+        } else {
+            Some(self.list.remove(0))
+        }
+    }
+
+    /// True if the list contains this simulator address.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        self.list.iter().any(|p| p.node == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(id: u64, node: u32) -> Peer {
+        Peer::new(ChordId(id), NodeId(node))
+    }
+
+    #[test]
+    fn keeps_distance_order() {
+        let mut s = SuccessorList::new(ChordId(100), 4);
+        assert!(s.offer(peer(500, 5)));
+        assert!(s.offer(peer(150, 1)));
+        assert!(s.offer(peer(50, 9))); // wraps: farthest
+        assert!(s.offer(peer(300, 3)));
+        let ids: Vec<u64> = s.iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![150, 300, 500, 50]);
+        assert_eq!(s.first().unwrap().id, ChordId(150));
+    }
+
+    #[test]
+    fn rejects_self_and_duplicates() {
+        let mut s = SuccessorList::new(ChordId(100), 4);
+        assert!(!s.offer(peer(100, 1)), "own id rejected");
+        assert!(s.offer(peer(200, 2)));
+        assert!(!s.offer(peer(200, 2)), "duplicate rejected");
+        assert!(!s.offer(peer(999, 2)), "same node, different id rejected");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn truncates_to_capacity() {
+        let mut s = SuccessorList::new(ChordId(0), 2);
+        assert!(s.offer(peer(10, 1)));
+        assert!(s.offer(peer(20, 2)));
+        assert!(!s.offer(peer(30, 3)), "beyond capacity and farther");
+        assert!(s.offer(peer(5, 4)), "nearer candidate displaces");
+        let ids: Vec<u64> = s.iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![5, 10]);
+    }
+
+    #[test]
+    fn remove_and_promote() {
+        let mut s = SuccessorList::new(ChordId(0), 3);
+        s.offer(peer(10, 1));
+        s.offer(peer(20, 2));
+        assert!(s.remove_node(NodeId(1)));
+        assert!(!s.remove_node(NodeId(1)));
+        assert_eq!(s.first().unwrap().node, NodeId(2));
+        assert_eq!(s.pop_first().unwrap().node, NodeId(2));
+        assert!(s.pop_first().is_none());
+    }
+
+    #[test]
+    fn merge_takes_best_of_both() {
+        let mut s = SuccessorList::new(ChordId(0), 3);
+        s.offer(peer(50, 5));
+        s.merge(peer(10, 1), &[peer(20, 2), peer(60, 6), peer(5, 7)]);
+        let ids: Vec<u64> = s.iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![5, 10, 20]);
+    }
+
+    #[test]
+    fn contains_node_query() {
+        let mut s = SuccessorList::new(ChordId(0), 3);
+        s.offer(peer(10, 1));
+        assert!(s.contains_node(NodeId(1)));
+        assert!(!s.contains_node(NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        SuccessorList::new(ChordId(0), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dco-metrics — the paper's four evaluation metrics
+//!
+//! §IV of the paper evaluates every protocol on four metrics; this crate
+//! implements their bookkeeping and the figure-shaped output containers:
+//!
+//! 1. **Mesh delay** — generation → last receiver
+//!    ([`StreamObserver::mean_mesh_delay`]).
+//! 2. **Fill ratio** — audience fraction holding a chunk at an instant
+//!    ([`StreamObserver::mean_fill_ratio_at_offset`],
+//!    [`StreamObserver::global_fill_ratio`]).
+//! 3. **Extra overhead** — control-message units; counted by
+//!    `dco_sim::counters::Counters` at the engine, summarized here.
+//! 4. **Percentage of received chunks** —
+//!    [`StreamObserver::received_percentage`].
+//!
+//! [`Figure`]/[`Series`] carry harness results and render as text tables or
+//! CSV; [`stats`] has the small numeric helpers used to check the paper's
+//! qualitative claims (linearity, orderings).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod observer;
+pub mod playback;
+pub mod series;
+pub mod stats;
+
+pub use observer::StreamObserver;
+pub use playback::{mean_continuity, replay, PlaybackReport, PlayerPolicy};
+pub use series::{average_figures, Figure, Series};

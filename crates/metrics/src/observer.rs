@@ -1,0 +1,405 @@
+//! The stream observer: per-chunk reception bookkeeping.
+//!
+//! Every streaming protocol in the workspace reports three things to a
+//! [`StreamObserver`]:
+//!
+//! * when the server **generated** each chunk,
+//! * which `(chunk, node)` pairs are **expected** (the audience — for the
+//!   no-churn experiments every non-server node; under churn, the nodes
+//!   alive when the chunk was generated),
+//! * when each node first **received** each chunk.
+//!
+//! All four of the paper's metrics fold out of this record:
+//!
+//! 1. **Mesh delay** (Fig. 5) — generation → last expected receiver.
+//! 2. **Fill ratio** (Figs. 6–7) — fraction of the audience holding a chunk
+//!    at a given instant.
+//! 3. **Extra overhead** (Figs. 8–10) — read from the engine's
+//!    [`Counters`](dco_sim::counters::Counters), not from here.
+//! 4. **Percentage of received chunks** (Figs. 11–12) — received pairs over
+//!    expected pairs by a deadline.
+
+use dco_sim::node::NodeId;
+use dco_sim::time::{SimDuration, SimTime};
+
+/// Reception record for one simulation run.
+#[derive(Clone, Debug)]
+pub struct StreamObserver {
+    n_nodes: usize,
+    /// Generation time per chunk sequence number.
+    generated: Vec<Option<SimTime>>,
+    /// `recv[seq][node]` = first reception instant (MAX = never).
+    recv: Vec<Vec<SimTime>>,
+    /// `expected[seq][node]`.
+    expected: Vec<Vec<bool>>,
+}
+
+impl StreamObserver {
+    /// An observer for up to `n_nodes` nodes and `n_chunks` chunks.
+    pub fn new(n_nodes: usize, n_chunks: usize) -> Self {
+        StreamObserver {
+            n_nodes,
+            generated: vec![None; n_chunks],
+            recv: vec![vec![SimTime::MAX; n_nodes]; n_chunks],
+            expected: vec![vec![false; n_nodes]; n_chunks],
+        }
+    }
+
+    /// Number of chunk slots.
+    pub fn n_chunks(&self) -> usize {
+        self.generated.len()
+    }
+
+    /// Number of node slots.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Grows the chunk dimension to at least `n` slots.
+    pub fn grow_chunks(&mut self, n: usize) {
+        while self.generated.len() < n {
+            self.generated.push(None);
+            self.recv.push(vec![SimTime::MAX; self.n_nodes]);
+            self.expected.push(vec![false; self.n_nodes]);
+        }
+    }
+
+    /// Records that chunk `seq` was generated at `t`.
+    pub fn record_generated(&mut self, seq: u32, t: SimTime) {
+        self.grow_chunks(seq as usize + 1);
+        let slot = &mut self.generated[seq as usize];
+        debug_assert!(slot.is_none(), "chunk {seq} generated twice");
+        *slot = Some(t);
+    }
+
+    /// Marks `(seq, node)` as part of the audience.
+    pub fn mark_expected(&mut self, seq: u32, node: NodeId) {
+        self.grow_chunks(seq as usize + 1);
+        if node.index() < self.n_nodes {
+            self.expected[seq as usize][node.index()] = true;
+        }
+    }
+
+    /// Marks every chunk slot as expected for `node` (static audiences).
+    pub fn mark_expected_all_chunks(&mut self, node: NodeId) {
+        for seq in 0..self.generated.len() {
+            self.expected[seq][node.index()] = true;
+        }
+    }
+
+    /// Records the first reception of chunk `seq` by `node` at `t`.
+    /// Duplicate receptions keep the earliest instant.
+    pub fn record_received(&mut self, seq: u32, node: NodeId, t: SimTime) {
+        self.grow_chunks(seq as usize + 1);
+        if node.index() >= self.n_nodes {
+            return;
+        }
+        let slot = &mut self.recv[seq as usize][node.index()];
+        if t < *slot {
+            *slot = t;
+        }
+    }
+
+    /// Generation time of chunk `seq`, if recorded.
+    pub fn generated_at(&self, seq: u32) -> Option<SimTime> {
+        self.generated.get(seq as usize).copied().flatten()
+    }
+
+    /// First reception of `seq` by `node`, if any.
+    pub fn received_at(&self, seq: u32, node: NodeId) -> Option<SimTime> {
+        let t = *self.recv.get(seq as usize)?.get(node.index())?;
+        (t != SimTime::MAX).then_some(t)
+    }
+
+    /// True if `(seq, node)` is in the audience.
+    pub fn is_expected(&self, seq: u32, node: NodeId) -> bool {
+        self.expected
+            .get(seq as usize)
+            .map(|v| v[node.index()])
+            .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Metric 1: mesh delay
+    // ------------------------------------------------------------------
+
+    /// Generation → last expected receiver for chunk `seq`.
+    ///
+    /// If any audience member never received the chunk, the delay is capped
+    /// at `horizon - generated` (the chunk did not finish spreading within
+    /// the measured run).
+    pub fn mesh_delay(&self, seq: u32, horizon: SimTime) -> Option<SimDuration> {
+        let gen = self.generated_at(seq)?;
+        let mut last = gen;
+        let mut expected_any = false;
+        for node in 0..self.n_nodes {
+            if !self.expected[seq as usize][node] {
+                continue;
+            }
+            expected_any = true;
+            let t = self.recv[seq as usize][node];
+            if t == SimTime::MAX {
+                return Some(horizon.saturating_since(gen));
+            }
+            last = last.max(t);
+        }
+        expected_any.then(|| last - gen)
+    }
+
+    /// Mean mesh delay over all generated chunks (seconds), with unreceived
+    /// chunks capped at the horizon.
+    pub fn mean_mesh_delay(&self, horizon: SimTime) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for seq in 0..self.generated.len() as u32 {
+            if let Some(d) = self.mesh_delay(seq, horizon) {
+                sum += d.as_secs_f64();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metric 2: fill ratio
+    // ------------------------------------------------------------------
+
+    /// Fraction of the audience of `seq` holding the chunk at instant `at`.
+    pub fn fill_ratio(&self, seq: u32, at: SimTime) -> Option<f64> {
+        self.generated_at(seq)?;
+        let mut have = 0usize;
+        let mut audience = 0usize;
+        for node in 0..self.n_nodes {
+            if !self.expected[seq as usize][node] {
+                continue;
+            }
+            audience += 1;
+            if self.recv[seq as usize][node] <= at {
+                have += 1;
+            }
+        }
+        (audience > 0).then(|| have as f64 / audience as f64)
+    }
+
+    /// Mean over all chunks of the fill ratio measured `offset` after each
+    /// chunk's generation (the paper's Fig. 6 statistic, offset = 2 s).
+    pub fn mean_fill_ratio_at_offset(&self, offset: SimDuration) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for seq in 0..self.generated.len() as u32 {
+            if let Some(gen) = self.generated_at(seq) {
+                if let Some(f) = self.fill_ratio(seq, gen + offset) {
+                    sum += f;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Global fill ratio at instant `at`: received (chunk, node) pairs over
+    /// all expected pairs (the paper's Fig. 7 timeline statistic).
+    pub fn global_fill_ratio(&self, at: SimTime) -> f64 {
+        let mut have = 0usize;
+        let mut total = 0usize;
+        for seq in 0..self.generated.len() {
+            if self.generated[seq].is_none() {
+                continue;
+            }
+            for node in 0..self.n_nodes {
+                if !self.expected[seq][node] {
+                    continue;
+                }
+                total += 1;
+                if self.recv[seq][node] <= at {
+                    have += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            have as f64 / total as f64
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metric 4: percentage of received chunks
+    // ------------------------------------------------------------------
+
+    /// Received expected pairs by `deadline`, over all expected pairs,
+    /// in percent (the paper's Figs. 11–12 statistic).
+    pub fn received_percentage(&self, deadline: SimTime) -> f64 {
+        100.0 * self.global_fill_ratio(deadline)
+    }
+
+    /// Total expected `(chunk, node)` pairs.
+    pub fn expected_pairs(&self) -> usize {
+        self.expected
+            .iter()
+            .map(|v| v.iter().filter(|&&b| b).count())
+            .sum()
+    }
+
+    /// Total received expected pairs (any time).
+    pub fn received_pairs(&self) -> usize {
+        let mut n = 0;
+        for seq in 0..self.generated.len() {
+            for node in 0..self.n_nodes {
+                if self.expected[seq][node] && self.recv[seq][node] != SimTime::MAX {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// 3 nodes, 2 chunks; chunk 0 reaches everyone, chunk 1 misses node 2.
+    fn observer() -> StreamObserver {
+        let mut o = StreamObserver::new(3, 2);
+        o.record_generated(0, t(10));
+        o.record_generated(1, t(11));
+        for node in 0..3 {
+            o.mark_expected(0, NodeId(node));
+            o.mark_expected(1, NodeId(node));
+        }
+        o.record_received(0, NodeId(0), t(11));
+        o.record_received(0, NodeId(1), t(12));
+        o.record_received(0, NodeId(2), t(14));
+        o.record_received(1, NodeId(0), t(12));
+        o.record_received(1, NodeId(1), t(13));
+        o
+    }
+
+    #[test]
+    fn generation_and_reception_lookup() {
+        let o = observer();
+        assert_eq!(o.generated_at(0), Some(t(10)));
+        assert_eq!(o.generated_at(5), None);
+        assert_eq!(o.received_at(0, NodeId(2)), Some(t(14)));
+        assert_eq!(o.received_at(1, NodeId(2)), None);
+        assert!(o.is_expected(0, NodeId(1)));
+    }
+
+    #[test]
+    fn duplicate_reception_keeps_earliest() {
+        let mut o = observer();
+        o.record_received(0, NodeId(0), t(20));
+        assert_eq!(o.received_at(0, NodeId(0)), Some(t(11)));
+        o.record_received(0, NodeId(0), t(10));
+        assert_eq!(o.received_at(0, NodeId(0)), Some(t(10)));
+    }
+
+    #[test]
+    fn mesh_delay_complete_chunk() {
+        let o = observer();
+        assert_eq!(
+            o.mesh_delay(0, t(100)),
+            Some(SimDuration::from_secs(4)),
+            "last receiver at 14, generated at 10"
+        );
+    }
+
+    #[test]
+    fn mesh_delay_incomplete_chunk_capped_at_horizon() {
+        let o = observer();
+        assert_eq!(
+            o.mesh_delay(1, t(100)),
+            Some(SimDuration::from_secs(89)),
+            "node 2 never got chunk 1: horizon 100 - gen 11"
+        );
+    }
+
+    #[test]
+    fn mean_mesh_delay() {
+        let o = observer();
+        let mean = o.mean_mesh_delay(t(100));
+        assert!((mean - (4.0 + 89.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_ratio_progression() {
+        let o = observer();
+        assert_eq!(o.fill_ratio(0, t(10)), Some(0.0));
+        assert_eq!(o.fill_ratio(0, t(11)), Some(1.0 / 3.0));
+        assert_eq!(o.fill_ratio(0, t(12)), Some(2.0 / 3.0));
+        assert_eq!(o.fill_ratio(0, t(14)), Some(1.0));
+        assert_eq!(o.fill_ratio(9, t(14)), None, "unknown chunk");
+    }
+
+    #[test]
+    fn mean_fill_ratio_at_offset() {
+        let o = observer();
+        // Offset 2 s: chunk 0 at t=12 → 2/3; chunk 1 at t=13 → 2/3.
+        let f = o.mean_fill_ratio_at_offset(SimDuration::from_secs(2));
+        assert!((f - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_fill_and_received_percentage() {
+        let o = observer();
+        // By t=13: chunk0 {0,1}, chunk1 {0,1} → 4 of 6.
+        assert!((o.global_fill_ratio(t(13)) - 4.0 / 6.0).abs() < 1e-9);
+        assert!((o.received_percentage(t(100)) - 100.0 * 5.0 / 6.0).abs() < 1e-9);
+        assert_eq!(o.expected_pairs(), 6);
+        assert_eq!(o.received_pairs(), 5);
+    }
+
+    #[test]
+    fn audience_restriction() {
+        let mut o = StreamObserver::new(3, 1);
+        o.record_generated(0, t(0));
+        o.mark_expected(0, NodeId(0));
+        // Node 1 receives but is not expected: ignored by the metrics.
+        o.record_received(0, NodeId(1), t(1));
+        o.record_received(0, NodeId(0), t(2));
+        assert_eq!(o.fill_ratio(0, t(1)), Some(0.0));
+        assert_eq!(o.fill_ratio(0, t(2)), Some(1.0));
+        assert_eq!(o.expected_pairs(), 1);
+    }
+
+    #[test]
+    fn grow_on_demand() {
+        let mut o = StreamObserver::new(2, 0);
+        o.record_generated(5, t(3));
+        assert_eq!(o.n_chunks(), 6);
+        o.mark_expected(7, NodeId(1));
+        assert_eq!(o.n_chunks(), 8);
+        assert!(o.is_expected(7, NodeId(1)));
+    }
+
+    #[test]
+    fn mark_expected_all_chunks() {
+        let mut o = StreamObserver::new(2, 3);
+        o.mark_expected_all_chunks(NodeId(1));
+        for seq in 0..3 {
+            assert!(o.is_expected(seq, NodeId(1)));
+            assert!(!o.is_expected(seq, NodeId(0)));
+        }
+    }
+
+    #[test]
+    fn empty_observer_metrics_are_zero() {
+        let o = StreamObserver::new(4, 0);
+        assert_eq!(o.mean_mesh_delay(t(10)), 0.0);
+        assert_eq!(o.global_fill_ratio(t(10)), 0.0);
+        assert_eq!(o.mean_fill_ratio_at_offset(SimDuration::from_secs(1)), 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Playback QoS derived from reception times.
+//!
+//! The paper motivates DCO with viewer QoS — "image freezes and poor
+//! resolution" — but evaluates proxy metrics. This module closes the loop:
+//! given a node's chunk reception instants (from the [`StreamObserver`])
+//! and a player policy, it
+//! replays the playout and reports **startup delay**, **stall count/time**
+//! and the **continuity index** (fraction of wall-clock play time not
+//! spent frozen).
+//!
+//! Player model: the viewer starts playing once `startup_chunks`
+//! consecutive chunks from its first expected chunk are buffered; each
+//! chunk plays for `chunk_len`; if the next chunk has not arrived when its
+//! turn comes, the player freezes until it does.
+
+use dco_sim::node::NodeId;
+use dco_sim::time::SimDuration;
+
+use crate::observer::StreamObserver;
+
+/// Player policy.
+#[derive(Clone, Copy, Debug)]
+pub struct PlayerPolicy {
+    /// Chunks buffered before playback starts.
+    pub startup_chunks: u32,
+    /// Media duration of one chunk.
+    pub chunk_len: SimDuration,
+}
+
+impl Default for PlayerPolicy {
+    fn default() -> Self {
+        PlayerPolicy {
+            startup_chunks: 3,
+            chunk_len: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// One node's playout report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlaybackReport {
+    /// First chunk the player needed.
+    pub first_seq: u32,
+    /// Chunks actually played.
+    pub chunks_played: u32,
+    /// Generation of the first chunk → playback start.
+    pub startup_delay: SimDuration,
+    /// Number of freezes after startup.
+    pub stalls: u32,
+    /// Total frozen time after startup.
+    pub stall_time: SimDuration,
+    /// Played time / (played + frozen) in `[0, 1]`; 1.0 = perfectly smooth.
+    pub continuity: f64,
+}
+
+/// Replays `node`'s playout of chunks `[first, last]` against the
+/// observer's reception record. Returns `None` when the node never
+/// buffered enough to start.
+pub fn replay(
+    obs: &StreamObserver,
+    node: NodeId,
+    first: u32,
+    last: u32,
+    policy: PlayerPolicy,
+) -> Option<PlaybackReport> {
+    if last < first {
+        return None;
+    }
+    let gen0 = obs.generated_at(first)?;
+    // Startup: the instant the first `startup_chunks` consecutive chunks
+    // are all buffered.
+    let warm_end = (first + policy.startup_chunks.max(1) - 1).min(last);
+    let mut start_at = gen0;
+    for seq in first..=warm_end {
+        start_at = start_at.max(obs.received_at(seq, node)?);
+    }
+    let mut clock = start_at;
+    let mut stalls = 0u32;
+    let mut stall_time = SimDuration::ZERO;
+    let mut played = 0u32;
+    for seq in first..=last {
+        match obs.received_at(seq, node) {
+            Some(t) => {
+                if t > clock {
+                    stalls += 1;
+                    stall_time += t - clock;
+                    clock = t;
+                }
+                clock += policy.chunk_len;
+                played += 1;
+            }
+            None => break, // playout ends at the first never-received chunk
+        }
+    }
+    let played_time = policy.chunk_len * u64::from(played);
+    let denom = played_time.saturating_add(stall_time);
+    let continuity = if denom.is_zero() {
+        1.0
+    } else {
+        played_time.as_secs_f64() / denom.as_secs_f64()
+    };
+    Some(PlaybackReport {
+        first_seq: first,
+        chunks_played: played,
+        startup_delay: start_at.saturating_since(gen0),
+        stalls,
+        stall_time,
+        continuity,
+    })
+}
+
+/// Mean continuity over all nodes that managed to start (the audience-wide
+/// smoothness score).
+pub fn mean_continuity(
+    obs: &StreamObserver,
+    first: u32,
+    last: u32,
+    policy: PlayerPolicy,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for node in 0..obs.n_nodes() {
+        if let Some(r) = replay(obs, NodeId(node as u32), first, last, policy) {
+            sum += r.continuity;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_sim::time::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// 1 node, 6 chunks generated at t = 0..5.
+    fn obs_with(receptions: &[(u32, u64)]) -> StreamObserver {
+        let mut o = StreamObserver::new(1, 6);
+        for seq in 0..6 {
+            o.record_generated(seq, t(u64::from(seq)));
+            o.mark_expected(seq, NodeId(0));
+        }
+        for &(seq, at) in receptions {
+            o.record_received(seq, NodeId(0), t(at));
+        }
+        o
+    }
+
+    fn policy() -> PlayerPolicy {
+        PlayerPolicy {
+            startup_chunks: 2,
+            chunk_len: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn smooth_playout_has_full_continuity() {
+        // Everything arrives 1 s after generation: once started, never
+        // stalls.
+        let o = obs_with(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        let r = replay(&o, NodeId(0), 0, 5, policy()).unwrap();
+        assert_eq!(r.chunks_played, 6);
+        assert_eq!(r.stalls, 0);
+        assert_eq!(r.continuity, 1.0);
+        assert_eq!(r.startup_delay, SimDuration::from_secs(2), "chunks 0,1 by t=2");
+    }
+
+    #[test]
+    fn late_chunk_causes_a_stall() {
+        // Chunk 3 arrives very late.
+        let o = obs_with(&[(0, 1), (1, 2), (2, 3), (3, 10), (4, 5), (5, 6)]);
+        let r = replay(&o, NodeId(0), 0, 5, policy()).unwrap();
+        assert_eq!(r.stalls, 1);
+        // Play starts at 2; chunks 0,1,2 play until t=5; chunk 3 arrives at
+        // 10 → 5 s frozen.
+        assert_eq!(r.stall_time, SimDuration::from_secs(5));
+        assert!(r.continuity < 1.0);
+        assert!((r.continuity - 6.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_chunk_truncates_playout() {
+        let o = obs_with(&[(0, 1), (1, 2), (2, 3)]);
+        let r = replay(&o, NodeId(0), 0, 5, policy()).unwrap();
+        assert_eq!(r.chunks_played, 3, "stops at the missing chunk 3");
+        assert_eq!(r.stalls, 0);
+    }
+
+    #[test]
+    fn never_starting_returns_none() {
+        let o = obs_with(&[(0, 1)]); // chunk 1 never arrives
+        assert!(replay(&o, NodeId(0), 0, 5, policy()).is_none());
+        // Unknown chunk range too.
+        let o2 = obs_with(&[]);
+        assert!(replay(&o2, NodeId(0), 0, 5, policy()).is_none());
+        assert!(replay(&o2, NodeId(0), 3, 2, policy()).is_none(), "empty range");
+    }
+
+    #[test]
+    fn mean_continuity_over_audience() {
+        let mut o = StreamObserver::new(2, 3);
+        for seq in 0..3 {
+            o.record_generated(seq, t(u64::from(seq)));
+            for n in 0..2 {
+                o.mark_expected(seq, NodeId(n));
+            }
+        }
+        // Node 0: smooth; node 1: never starts.
+        for seq in 0..3u32 {
+            o.record_received(seq, NodeId(0), t(u64::from(seq) + 1));
+        }
+        let m = mean_continuity(&o, 0, 2, policy());
+        assert_eq!(m, 1.0, "only starters count");
+        let empty = StreamObserver::new(2, 0);
+        assert_eq!(mean_continuity(&empty, 0, 0, policy()), 0.0);
+    }
+}

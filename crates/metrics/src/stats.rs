@@ -1,0 +1,123 @@
+//! Small numeric helpers shared by the harness: mean, percentiles, linear
+//! regression slope (used to check "overhead grows linearly with n" style
+//! claims from the paper).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `p`-th percentile (0–100) by nearest-rank on a sorted copy.
+/// Returns 0 for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+    v[rank.clamp(1, v.len()) - 1]
+}
+
+/// Least-squares slope of y over x; 0 when degenerate.
+pub fn linreg_slope(points: &[(f64, f64)]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    }
+}
+
+/// Pearson correlation coefficient; 0 when degenerate. Used to verify
+/// "grows linearly" claims (r close to 1).
+pub fn pearson_r(points: &[(f64, f64)]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let (mx, my) = (mean(&xs), mean(&ys));
+    let mut num = 0.0;
+    let mut dx2 = 0.0;
+    let mut dy2 = 0.0;
+    for &(x, y) in points {
+        num += (x - mx) * (y - my);
+        dx2 += (x - mx) * (x - mx);
+        dy2 += (y - my) * (y - my);
+    }
+    let denom = (dx2 * dy2).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        num / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 1.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn slope_of_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((linreg_slope(&pts) - 3.0).abs() < 1e-9);
+        assert!((pearson_r(&pts) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_regression() {
+        assert_eq!(linreg_slope(&[(1.0, 2.0)]), 0.0);
+        assert_eq!(linreg_slope(&[(1.0, 2.0), (1.0, 3.0)]), 0.0);
+        assert_eq!(pearson_r(&[(1.0, 1.0)]), 0.0);
+        // Flat line: slope 0, r degenerate → 0.
+        let flat: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 7.0)).collect();
+        assert_eq!(linreg_slope(&flat), 0.0);
+        assert_eq!(pearson_r(&flat), 0.0);
+    }
+
+    #[test]
+    fn anticorrelation() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, -2.0 * i as f64)).collect();
+        assert!((pearson_r(&pts) + 1.0).abs() < 1e-9);
+        assert!((linreg_slope(&pts) + 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Overhead accounting.
+//!
+//! The paper's third metric, *extra overhead*, is "the number of
+//! communication messages other than video chunks", where "one message
+//! forwarding operation is regarded as one unit". The engine therefore bumps
+//! a counter on **every control transmission** (including each per-hop DHT
+//! forward, since a forward is a fresh transmission).
+//!
+//! Counters are kept three ways:
+//!
+//! * a grand total per traffic class,
+//! * a per-tag breakdown (protocols label sends — `"bufmap"`, `"lookup"`,
+//!   `"insert"`, ... ) for diagnosing *where* overhead comes from,
+//! * a per-second time series of control units, which is exactly the series
+//!   Figure 10 plots.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+
+/// Message counters maintained by the engine.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    control_total: u64,
+    data_total: u64,
+    by_tag: BTreeMap<&'static str, u64>,
+    /// control units bucketed by whole sim second.
+    control_per_sec: Vec<u64>,
+    dropped_dead: u64,
+    dropped_fault: u64,
+}
+
+impl Counters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Records one control transmission at `now` with a diagnostic tag.
+    pub fn record_control(&mut self, now: SimTime, tag: &'static str) {
+        self.control_total += 1;
+        *self.by_tag.entry(tag).or_insert(0) += 1;
+        let sec = now.as_secs() as usize;
+        if self.control_per_sec.len() <= sec {
+            self.control_per_sec.resize(sec + 1, 0);
+        }
+        self.control_per_sec[sec] += 1;
+    }
+
+    /// Records one data (chunk) transmission.
+    pub fn record_data(&mut self) {
+        self.data_total += 1;
+    }
+
+    /// Records a message dropped because the destination was dead.
+    pub fn record_dropped_dead(&mut self) {
+        self.dropped_dead += 1;
+    }
+
+    /// Records a message dropped by fault injection.
+    pub fn record_dropped_fault(&mut self) {
+        self.dropped_fault += 1;
+    }
+
+    /// Total control transmissions — the paper's "extra overhead".
+    pub fn control_total(&self) -> u64 {
+        self.control_total
+    }
+
+    /// Total data (chunk) transmissions.
+    pub fn data_total(&self) -> u64 {
+        self.data_total
+    }
+
+    /// Units attributed to one tag.
+    pub fn tagged(&self, tag: &str) -> u64 {
+        self.by_tag.get(tag).copied().unwrap_or(0)
+    }
+
+    /// The full per-tag breakdown, sorted by tag.
+    pub fn tags(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.by_tag.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Control units in the whole second `sec` (0 if beyond the run).
+    pub fn control_in_second(&self, sec: u64) -> u64 {
+        self.control_per_sec.get(sec as usize).copied().unwrap_or(0)
+    }
+
+    /// Cumulative control units up to and including second `sec`.
+    pub fn control_through_second(&self, sec: u64) -> u64 {
+        self.control_per_sec
+            .iter()
+            .take(sec as usize + 1)
+            .sum()
+    }
+
+    /// Messages dropped to dead destinations.
+    pub fn dropped_dead(&self) -> u64 {
+        self.dropped_dead
+    }
+
+    /// Messages dropped by fault injection.
+    pub fn dropped_fault(&self) -> u64 {
+        self.dropped_fault
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_tags() {
+        let mut c = Counters::new();
+        c.record_control(SimTime::from_secs(0), "lookup");
+        c.record_control(SimTime::from_secs(0), "lookup");
+        c.record_control(SimTime::from_secs(1), "insert");
+        c.record_data();
+        assert_eq!(c.control_total(), 3);
+        assert_eq!(c.data_total(), 1);
+        assert_eq!(c.tagged("lookup"), 2);
+        assert_eq!(c.tagged("insert"), 1);
+        assert_eq!(c.tagged("missing"), 0);
+        let tags: Vec<_> = c.tags().collect();
+        assert_eq!(tags, vec![("insert", 1), ("lookup", 2)]);
+    }
+
+    #[test]
+    fn per_second_series() {
+        let mut c = Counters::new();
+        c.record_control(SimTime::from_millis(100), "x");
+        c.record_control(SimTime::from_millis(900), "x");
+        c.record_control(SimTime::from_millis(2500), "x");
+        assert_eq!(c.control_in_second(0), 2);
+        assert_eq!(c.control_in_second(1), 0);
+        assert_eq!(c.control_in_second(2), 1);
+        assert_eq!(c.control_in_second(99), 0);
+        assert_eq!(c.control_through_second(0), 2);
+        assert_eq!(c.control_through_second(2), 3);
+        assert_eq!(c.control_through_second(50), 3);
+    }
+
+    #[test]
+    fn drop_counters() {
+        let mut c = Counters::new();
+        c.record_dropped_dead();
+        c.record_dropped_fault();
+        c.record_dropped_fault();
+        assert_eq!(c.dropped_dead(), 1);
+        assert_eq!(c.dropped_fault(), 2);
+    }
+}

@@ -1,0 +1,710 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulator`] owns a user-supplied [`Protocol`] (the distributed
+//! algorithm under test, holding *all* nodes' state) and a [`SimCore`] (the
+//! clock, calendar, network substrate, liveness map, RNGs and counters). The
+//! run loop pops events in `(time, insertion)` order and dispatches them to
+//! the protocol through a [`Ctx`] handle, which is how the protocol sends
+//! messages, sets timers and queries the network.
+//!
+//! # Liveness semantics
+//!
+//! * **Join** — the node's pipes are reset, its liveness bit set, then
+//!   [`Protocol::on_join`] runs.
+//! * **Graceful leave** — [`Protocol::on_leave`] runs *while the node is
+//!   still alive* (so it can send farewell messages, as DCO's departure
+//!   protocol requires), then the bit is cleared.
+//! * **Abrupt failure** — the bit is cleared *first*, then `on_leave` runs
+//!   purely for internal cleanup; any send the protocol attempts from the
+//!   dead node is suppressed, modelling a crash with no goodbye.
+//! * Messages **to** a dead node are dropped (the sender only learns through
+//!   its own timeouts). Messages already in flight when the *sender* dies are
+//!   still delivered. Timers on dead nodes are skipped.
+
+use core::fmt;
+
+use rand::rngs::SmallRng;
+
+use crate::counters::Counters;
+use crate::msg::{MsgClass, SizeBits};
+use crate::net::{Kbps, NetConfig, Network, NodeCaps, Transmit};
+use crate::node::{AliveSet, NodeId};
+use crate::queue::EventQueue;
+use crate::rng::RngHub;
+use crate::time::{SimDuration, SimTime};
+
+/// A distributed algorithm driven by the engine.
+///
+/// The implementor owns the state of *every* node (typically a
+/// `Vec<PerNodeState>` indexed by [`NodeId`]); the engine tells it which node
+/// an event is for.
+pub trait Protocol: Sized {
+    /// The protocol's wire message type.
+    type Msg: Clone + fmt::Debug;
+    /// The protocol's timer token type.
+    type Timer: Clone + fmt::Debug;
+
+    /// `node` just joined (or re-joined) the overlay.
+    fn on_join(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self>);
+
+    /// `node` received `msg` from `from`.
+    fn on_message(&mut self, node: NodeId, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self>);
+
+    /// A timer set by `node` fired.
+    fn on_timer(&mut self, node: NodeId, timer: Self::Timer, ctx: &mut Ctx<'_, Self>);
+
+    /// `node` is leaving. If `graceful` the node is still alive and may send
+    /// farewell messages; if not it is already dead and sends are suppressed.
+    fn on_leave(&mut self, node: NodeId, graceful: bool, ctx: &mut Ctx<'_, Self>) {
+        let _ = (node, graceful, ctx);
+    }
+}
+
+/// Internal calendar entries.
+enum Event<P: Protocol> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: P::Msg,
+    },
+    Timer {
+        node: NodeId,
+        timer: P::Timer,
+    },
+    Join {
+        node: NodeId,
+    },
+    Leave {
+        node: NodeId,
+        graceful: bool,
+    },
+}
+
+/// Engine-level statistics (orthogonal to protocol metrics).
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Events dispatched so far.
+    pub events_processed: u64,
+    /// Timers that fired on live nodes.
+    pub timers_fired: u64,
+    /// Timers silently skipped because the node was dead.
+    pub timers_skipped_dead: u64,
+    /// Sends suppressed because the sender was dead.
+    pub sends_from_dead: u64,
+}
+
+/// Everything the engine owns besides the protocol itself.
+pub struct SimCore<P: Protocol> {
+    clock: SimTime,
+    queue: EventQueue<Event<P>>,
+    net: Network,
+    alive: AliveSet,
+    counters: Counters,
+    rng: SmallRng,
+    hub: RngHub,
+    stats: EngineStats,
+}
+
+/// The handle protocols use to act on the world.
+pub struct Ctx<'a, P: Protocol> {
+    core: &'a mut SimCore<P>,
+}
+
+impl<P: Protocol> Ctx<'_, P> {
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.clock
+    }
+
+    /// Sends a zero-size control message, counting one unit of extra
+    /// overhead under `tag`. No-op if the sender is dead; silently dropped
+    /// (after counting) if the receiver is dead at delivery time.
+    pub fn send_control(&mut self, from: NodeId, to: NodeId, msg: P::Msg, tag: &'static str) {
+        self.send_control_sized(from, to, msg, tag, SizeBits::ZERO)
+    }
+
+    /// Sends a control message with an explicit size (only relevant when the
+    /// network is configured to charge control traffic to the pipes).
+    pub fn send_control_sized(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: P::Msg,
+        tag: &'static str,
+        size: SizeBits,
+    ) {
+        let core = &mut *self.core;
+        if !core.alive.is_alive(from) {
+            core.stats.sends_from_dead += 1;
+            return;
+        }
+        core.counters.record_control(core.clock, tag);
+        match core
+            .net
+            .transmit(core.clock, from, to, MsgClass::Control, size, &mut core.rng)
+        {
+            Transmit::Deliver(at) => core.queue.push(
+                at,
+                Event::Deliver { from, to, msg },
+            ),
+            Transmit::Dropped => core.counters.record_dropped_fault(),
+        }
+    }
+
+    /// Sends a data (chunk) message of `size` bits through both access
+    /// pipes. Not counted as overhead. No-op if the sender is dead.
+    pub fn send_data(&mut self, from: NodeId, to: NodeId, msg: P::Msg, size: SizeBits) {
+        let core = &mut *self.core;
+        if !core.alive.is_alive(from) {
+            core.stats.sends_from_dead += 1;
+            return;
+        }
+        core.counters.record_data();
+        match core
+            .net
+            .transmit(core.clock, from, to, MsgClass::Data, size, &mut core.rng)
+        {
+            Transmit::Deliver(at) => core.queue.push(
+                at,
+                Event::Deliver { from, to, msg },
+            ),
+            Transmit::Dropped => core.counters.record_dropped_fault(),
+        }
+    }
+
+    /// Arms a timer for `node` to fire after `delay`.
+    pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, timer: P::Timer) {
+        let at = self.core.clock.saturating_add(delay);
+        self.core.queue.push(at, Event::Timer { node, timer });
+    }
+
+    /// Arms a timer for `node` at an absolute instant (clamped to now).
+    pub fn set_timer_at(&mut self, node: NodeId, at: SimTime, timer: P::Timer) {
+        let at = at.max(self.core.clock);
+        self.core.queue.push(at, Event::Timer { node, timer });
+    }
+
+    /// Schedules `node` to join at absolute time `at`.
+    pub fn schedule_join(&mut self, node: NodeId, at: SimTime) {
+        let at = at.max(self.core.clock);
+        self.core.queue.push(at, Event::Join { node });
+    }
+
+    /// Schedules `node` to leave at absolute time `at`.
+    pub fn schedule_leave(&mut self, node: NodeId, at: SimTime, graceful: bool) {
+        let at = at.max(self.core.clock);
+        self.core.queue.push(at, Event::Leave { node, graceful });
+    }
+
+    /// True if `node` is currently alive.
+    #[inline]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.core.alive.is_alive(node)
+    }
+
+    /// Number of currently alive nodes.
+    #[inline]
+    pub fn alive_count(&self) -> usize {
+        self.core.alive.alive_count()
+    }
+
+    /// Total registered nodes (alive or not).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.core.net.len()
+    }
+
+    /// The engine's RNG (deterministic given the seed and event order).
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.core.rng
+    }
+
+    /// The seed hub, for protocols wanting private per-node streams.
+    #[inline]
+    pub fn hub(&self) -> RngHub {
+        self.core.hub
+    }
+
+    /// Spare upload capacity of `node` averaged over `horizon`.
+    pub fn available_upload(&self, node: NodeId, horizon: SimDuration) -> Kbps {
+        self.core.net.available_upload(node, self.core.clock, horizon)
+    }
+
+    /// Queueing delay currently ahead of `node`'s upload pipe.
+    pub fn upload_backlog(&self, node: NodeId) -> SimDuration {
+        self.core.net.upload_backlog(node, self.core.clock)
+    }
+
+    /// Queueing delay currently ahead of `node`'s download pipe.
+    pub fn download_backlog(&self, node: NodeId) -> SimDuration {
+        self.core.net.download_backlog(node, self.core.clock)
+    }
+
+    /// Configured upload rate of `node`.
+    pub fn upload_rate(&self, node: NodeId) -> Kbps {
+        self.core.net.upload_rate(node)
+    }
+
+    /// Configured download rate of `node`.
+    pub fn download_rate(&self, node: NodeId) -> Kbps {
+        self.core.net.download_rate(node)
+    }
+
+    /// Read access to the overhead counters.
+    pub fn counters(&self) -> &Counters {
+        &self.core.counters
+    }
+}
+
+/// The simulator: protocol + engine core + run loop.
+pub struct Simulator<P: Protocol> {
+    core: SimCore<P>,
+    protocol: P,
+    /// Hard cap on dispatched events; `run*` panics past it (runaway guard).
+    max_events: u64,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Builds a simulator around `protocol` with the given network
+    /// configuration and master seed.
+    pub fn new(protocol: P, net_cfg: NetConfig, seed: u64) -> Self {
+        let hub = RngHub::new(seed);
+        Simulator {
+            core: SimCore {
+                clock: SimTime::ZERO,
+                queue: EventQueue::new(),
+                net: Network::new(net_cfg),
+                alive: AliveSet::new(0),
+                counters: Counters::new(),
+                rng: hub.engine_rng(),
+                hub,
+                stats: EngineStats::default(),
+            },
+            protocol,
+            max_events: 2_000_000_000,
+        }
+    }
+
+    /// Sets the runaway-event guard (default 2×10⁹).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Registers a node with the given link capacities. The node starts
+    /// **dead**; schedule a join to bring it up.
+    pub fn add_node(&mut self, caps: NodeCaps) -> NodeId {
+        let id = self.core.net.push_node(caps);
+        self.core.alive.grow(self.core.net.len());
+        id
+    }
+
+    /// Schedules `node` to join at `at`.
+    pub fn schedule_join(&mut self, node: NodeId, at: SimTime) {
+        self.core.queue.push(at, Event::Join { node });
+    }
+
+    /// Schedules `node` to leave at `at` (gracefully or abruptly).
+    pub fn schedule_leave(&mut self, node: NodeId, at: SimTime, graceful: bool) {
+        self.core.queue.push(at, Event::Leave { node, graceful });
+    }
+
+    /// Enqueues a message delivery at `at` as if sent by `from` — a driver
+    /// hook for injecting application commands into a running protocol
+    /// without going through the network (no latency, no overhead units).
+    pub fn inject_message(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: P::Msg) {
+        let at = at.max(self.core.clock);
+        self.core.queue.push(at, Event::Deliver { from, to, msg });
+    }
+
+    /// Dispatches the next event, if any. Returns `false` when the calendar
+    /// is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.core.clock, "time went backwards");
+        self.core.clock = at;
+        self.dispatch(ev);
+        true
+    }
+
+    /// Runs until the calendar is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs every event scheduled at or before `t`, then advances the clock
+    /// to exactly `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.core.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        if self.core.clock < t {
+            self.core.clock = t;
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event<P>) {
+        self.core.stats.events_processed += 1;
+        assert!(
+            self.core.stats.events_processed <= self.max_events,
+            "event budget exceeded ({}) — runaway simulation?",
+            self.max_events
+        );
+        let core = &mut self.core;
+        let protocol = &mut self.protocol;
+        match ev {
+            Event::Deliver { from, to, msg } => {
+                if !core.alive.is_alive(to) {
+                    core.counters.record_dropped_dead();
+                    return;
+                }
+                protocol.on_message(to, from, msg, &mut Ctx { core });
+            }
+            Event::Timer { node, timer } => {
+                if !core.alive.is_alive(node) {
+                    core.stats.timers_skipped_dead += 1;
+                    return;
+                }
+                core.stats.timers_fired += 1;
+                protocol.on_timer(node, timer, &mut Ctx { core });
+            }
+            Event::Join { node } => {
+                let now = core.clock;
+                core.net.reset_pipes(node, now);
+                if core.alive.set_alive(node) {
+                    protocol.on_join(node, &mut Ctx { core });
+                }
+            }
+            Event::Leave { node, graceful } => {
+                if !core.alive.is_alive(node) {
+                    return;
+                }
+                if graceful {
+                    // Farewell messages allowed: still alive during the hook.
+                    protocol.on_leave(node, true, &mut Ctx { core });
+                    core.alive.set_dead(node);
+                } else {
+                    core.alive.set_dead(node);
+                    protocol.on_leave(node, false, &mut Ctx { core });
+                }
+            }
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.clock
+    }
+
+    /// Read access to the overhead counters.
+    pub fn counters(&self) -> &Counters {
+        &self.core.counters
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.core.stats
+    }
+
+    /// True if `node` is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.core.alive.is_alive(node)
+    }
+
+    /// Number of currently alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.core.alive.alive_count()
+    }
+
+    /// Total registered nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.core.net.len()
+    }
+
+    /// Pending calendar entries (diagnostic).
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Mutable access to the fault plan (flip faults mid-run in tests).
+    pub fn faults_mut(&mut self) -> &mut crate::net::FaultPlan {
+        self.core.net.faults_mut()
+    }
+
+    /// Shared access to the protocol under test.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Mutable access to the protocol under test.
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// Consumes the simulator, returning the protocol (for result harvest).
+    pub fn into_protocol(self) -> P {
+        self.protocol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy protocol: every node, on join, pings node 0; node 0 answers;
+    /// each node counts ponged replies and echoes timers.
+    #[derive(Default)]
+    struct PingPong {
+        pings_seen: u64,
+        pongs: Vec<u32>,
+        timer_log: Vec<(u32, &'static str)>,
+        leaves: Vec<(u32, bool)>,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    impl Protocol for PingPong {
+        type Msg = Msg;
+        type Timer = &'static str;
+
+        fn on_join(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self>) {
+            if self.pongs.len() < ctx.num_nodes() {
+                self.pongs.resize(ctx.num_nodes(), 0);
+            }
+            if node != NodeId(0) {
+                ctx.send_control(node, NodeId(0), Msg::Ping, "ping");
+            }
+        }
+
+        fn on_message(&mut self, node: NodeId, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Self>) {
+            match msg {
+                Msg::Ping => {
+                    self.pings_seen += 1;
+                    ctx.send_control(node, from, Msg::Pong, "pong");
+                }
+                Msg::Pong => self.pongs[node.index()] += 1,
+            }
+        }
+
+        fn on_timer(&mut self, node: NodeId, timer: &'static str, _ctx: &mut Ctx<'_, Self>) {
+            self.timer_log.push((node.0, timer));
+        }
+
+        fn on_leave(&mut self, node: NodeId, graceful: bool, ctx: &mut Ctx<'_, Self>) {
+            self.leaves.push((node.0, graceful));
+            // Farewell ping: only delivered when graceful.
+            ctx.send_control(node, NodeId(0), Msg::Ping, "farewell");
+        }
+    }
+
+    fn build(n: usize) -> Simulator<PingPong> {
+        let mut sim = Simulator::new(PingPong::default(), NetConfig::default(), 7);
+        for i in 0..n {
+            let caps = if i == 0 {
+                NodeCaps::server_default()
+            } else {
+                NodeCaps::peer_default()
+            };
+            let id = sim.add_node(caps);
+            sim.schedule_join(id, SimTime::ZERO);
+        }
+        sim
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = build(5);
+        sim.run();
+        let p = sim.protocol();
+        assert_eq!(p.pings_seen, 4);
+        assert_eq!(p.pongs.iter().sum::<u32>(), 4);
+        // 4 pings + 4 pongs = 8 overhead units.
+        assert_eq!(sim.counters().control_total(), 8);
+        assert_eq!(sim.counters().tagged("ping"), 4);
+        assert_eq!(sim.counters().tagged("pong"), 4);
+        // Ping at 50 ms, pong back at 100 ms.
+        assert_eq!(sim.now(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn run_until_advances_clock_exactly() {
+        let mut sim = build(2);
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn messages_to_dead_nodes_are_dropped() {
+        let mut sim = build(3);
+        // Kill node 0 before the pings arrive.
+        sim.schedule_leave(NodeId(0), SimTime::from_millis(1), false);
+        sim.run();
+        assert_eq!(sim.protocol().pings_seen, 0);
+        assert_eq!(sim.counters().dropped_dead(), 2);
+    }
+
+    #[test]
+    fn graceful_leave_can_say_farewell_but_abrupt_cannot() {
+        let mut sim = build(3);
+        sim.run_until(SimTime::from_secs(1));
+        sim.schedule_leave(NodeId(1), SimTime::from_secs(2), true);
+        sim.schedule_leave(NodeId(2), SimTime::from_secs(2), false);
+        sim.run();
+        let p = sim.protocol();
+        assert_eq!(p.leaves, vec![(1, true), (2, false)]);
+        // Only the graceful farewell arrives: 2 joins' pings + 1 farewell.
+        assert_eq!(p.pings_seen, 3);
+        assert_eq!(sim.stats().sends_from_dead, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_skip_dead() {
+        let mut sim = build(2);
+        sim.run_until(SimTime::from_secs(1));
+        {
+            // Set timers directly through a join-time hook replacement:
+            // schedule via the public Simulator API by re-joining node 1 is
+            // overkill; instead drive timers through events.
+            sim.core.queue.push(
+                SimTime::from_secs(2),
+                Event::Timer { node: NodeId(1), timer: "a" },
+            );
+            sim.core.queue.push(
+                SimTime::from_secs(3),
+                Event::Timer { node: NodeId(1), timer: "b" },
+            );
+            sim.core.queue.push(
+                SimTime::from_secs(4),
+                Event::Timer { node: NodeId(1), timer: "dead" },
+            );
+        }
+        sim.schedule_leave(NodeId(1), SimTime::from_millis(3500), false);
+        sim.run();
+        assert_eq!(sim.protocol().timer_log, vec![(1, "a"), (1, "b")]);
+        assert_eq!(sim.stats().timers_skipped_dead, 1);
+        assert_eq!(sim.stats().timers_fired, 2);
+    }
+
+    #[test]
+    fn rejoin_after_leave() {
+        let mut sim = build(2);
+        sim.schedule_leave(NodeId(1), SimTime::from_secs(1), false);
+        sim.schedule_join(NodeId(1), SimTime::from_secs(2));
+        sim.run();
+        // Node 1 pinged twice: once per join.
+        assert_eq!(sim.protocol().pings_seen, 2);
+        assert!(sim.is_alive(NodeId(1)));
+        assert_eq!(sim.alive_count(), 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed| {
+            let mut sim = Simulator::new(PingPong::default(), NetConfig::default(), seed);
+            for i in 0..10 {
+                let id = sim.add_node(NodeCaps::peer_default());
+                sim.schedule_join(id, SimTime::from_millis(i * 10));
+            }
+            sim.run();
+            (
+                sim.counters().control_total(),
+                sim.now(),
+                sim.stats().events_processed,
+            )
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget exceeded")]
+    fn event_budget_guard() {
+        /// A protocol that schedules itself forever.
+        struct Loopy;
+        impl Protocol for Loopy {
+            type Msg = ();
+            type Timer = ();
+            fn on_join(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self>) {
+                ctx.set_timer(node, SimDuration::from_secs(1), ());
+            }
+            fn on_message(&mut self, _: NodeId, _: NodeId, _: (), _: &mut Ctx<'_, Self>) {}
+            fn on_timer(&mut self, node: NodeId, _: (), ctx: &mut Ctx<'_, Self>) {
+                ctx.set_timer(node, SimDuration::from_secs(1), ());
+            }
+        }
+        let mut sim = Simulator::new(Loopy, NetConfig::default(), 1);
+        let id = sim.add_node(NodeCaps::peer_default());
+        sim.schedule_join(id, SimTime::ZERO);
+        sim.set_max_events(100);
+        sim.run();
+    }
+}
+
+#[cfg(test)]
+mod inject_tests {
+    use super::*;
+    use crate::net::NetConfig;
+
+    /// Echo protocol: counts every message per node.
+    struct Echo {
+        seen: Vec<u32>,
+    }
+    impl Protocol for Echo {
+        type Msg = u64;
+        type Timer = ();
+        fn on_join(&mut self, _: NodeId, _: &mut Ctx<'_, Self>) {}
+        fn on_message(&mut self, node: NodeId, _: NodeId, _: u64, _: &mut Ctx<'_, Self>) {
+            self.seen[node.index()] += 1;
+        }
+        fn on_timer(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, Self>) {}
+    }
+
+    fn sim2() -> Simulator<Echo> {
+        let mut sim = Simulator::new(Echo { seen: vec![0; 2] }, NetConfig::default(), 1);
+        for _ in 0..2 {
+            let id = sim.add_node(crate::net::NodeCaps::peer_default());
+            sim.schedule_join(id, SimTime::ZERO);
+        }
+        sim
+    }
+
+    #[test]
+    fn inject_message_delivers_without_overhead() {
+        let mut sim = sim2();
+        sim.inject_message(SimTime::from_secs(1), NodeId(0), NodeId(1), 42);
+        sim.run();
+        assert_eq!(sim.protocol().seen[1], 1);
+        assert_eq!(sim.counters().control_total(), 0, "injection is free");
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn inject_message_clamps_to_now() {
+        let mut sim = sim2();
+        sim.run_until(SimTime::from_secs(5));
+        sim.inject_message(SimTime::from_secs(1), NodeId(0), NodeId(1), 7);
+        sim.run();
+        assert_eq!(sim.protocol().seen[1], 1);
+        assert_eq!(sim.now(), SimTime::from_secs(5), "clamped, no time travel");
+    }
+
+    #[test]
+    fn inject_to_dead_node_is_dropped() {
+        let mut sim = sim2();
+        sim.schedule_leave(NodeId(1), SimTime::from_secs(1), false);
+        sim.inject_message(SimTime::from_secs(2), NodeId(0), NodeId(1), 9);
+        sim.run();
+        assert_eq!(sim.protocol().seen[1], 0);
+        assert_eq!(sim.counters().dropped_dead(), 1);
+    }
+}

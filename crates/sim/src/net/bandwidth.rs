@@ -1,0 +1,141 @@
+//! Access-link capacities.
+//!
+//! The paper models each node as having a fixed-rate upload pipe and a
+//! fixed-rate download pipe (600 kbps for peers, 4000 kbps for the server).
+//! [`Kbps`] is the capacity unit; [`NodeCaps`] bundles a node's pair.
+
+use core::fmt;
+
+use crate::msg::SizeBits;
+use crate::time::SimDuration;
+
+/// A link rate in kilobits per second (1 kbps = 1000 bits/s).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Kbps(pub u32);
+
+impl Kbps {
+    /// The paper's peer capacity (both directions).
+    pub const PEER_DEFAULT: Kbps = Kbps(600);
+    /// The paper's server capacity (both directions).
+    pub const SERVER_DEFAULT: Kbps = Kbps(4000);
+
+    /// Rate in bits per second.
+    #[inline]
+    pub const fn bits_per_sec(self) -> u64 {
+        self.0 as u64 * 1_000
+    }
+
+    /// Serialization time of `size` at this rate, rounded up to the next
+    /// microsecond so a transfer never finishes early.
+    ///
+    /// A zero rate yields [`SimDuration::MAX`] — the message never drains,
+    /// which models a node with no upstream capacity.
+    pub fn transfer_time(self, size: SizeBits) -> SimDuration {
+        if size.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let bps = self.bits_per_sec();
+        if bps == 0 {
+            return SimDuration::MAX;
+        }
+        // micros = ceil(bits * 1e6 / bps); bits ≤ 2^40ish in practice so the
+        // u128 intermediate cannot overflow.
+        let micros = (size.bits() as u128 * 1_000_000).div_ceil(bps as u128)
+            .min(u64::MAX as u128) as u64;
+        SimDuration::from_micros(micros)
+    }
+}
+
+impl fmt::Debug for Kbps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}kbps", self.0)
+    }
+}
+
+impl fmt::Display for Kbps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}kbps", self.0)
+    }
+}
+
+/// A node's access-link capacities.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeCaps {
+    /// Upstream capacity.
+    pub up: Kbps,
+    /// Downstream capacity.
+    pub down: Kbps,
+}
+
+impl NodeCaps {
+    /// Symmetric capacity.
+    pub const fn symmetric(rate: Kbps) -> Self {
+        NodeCaps { up: rate, down: rate }
+    }
+
+    /// The paper's peer profile: 600 kbps both ways.
+    pub const fn peer_default() -> Self {
+        NodeCaps::symmetric(Kbps::PEER_DEFAULT)
+    }
+
+    /// The paper's server profile: 4000 kbps both ways.
+    pub const fn server_default() -> Self {
+        NodeCaps::symmetric(Kbps::SERVER_DEFAULT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_per_sec() {
+        assert_eq!(Kbps(600).bits_per_sec(), 600_000);
+        assert_eq!(Kbps(0).bits_per_sec(), 0);
+    }
+
+    #[test]
+    fn chunk_serialization_times_match_paper() {
+        // 300 kb chunk over a 600 kbps peer link = 0.5 s.
+        let d = Kbps::PEER_DEFAULT.transfer_time(SizeBits::from_kilobits(300));
+        assert_eq!(d, SimDuration::from_millis(500));
+        // Same chunk from the 4000 kbps server = 75 ms.
+        let d = Kbps::SERVER_DEFAULT.transfer_time(SizeBits::from_kilobits(300));
+        assert_eq!(d, SimDuration::from_millis(75));
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 1 bit at 600 kbps is 1.67 µs -> rounds up to 2 µs.
+        let d = Kbps(600).transfer_time(SizeBits(1));
+        assert_eq!(d, SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn zero_size_is_instant() {
+        assert_eq!(Kbps(600).transfer_time(SizeBits::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_rate_never_drains() {
+        assert_eq!(
+            Kbps(0).transfer_time(SizeBits::from_kilobits(1)),
+            SimDuration::MAX
+        );
+    }
+
+    #[test]
+    fn caps_profiles() {
+        let p = NodeCaps::peer_default();
+        assert_eq!(p.up, Kbps(600));
+        assert_eq!(p.down, Kbps(600));
+        let s = NodeCaps::server_default();
+        assert_eq!(s.up, Kbps(4000));
+        assert_eq!(s.down, Kbps(4000));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Kbps(600)), "600kbps");
+    }
+}

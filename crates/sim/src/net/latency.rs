@@ -1,0 +1,140 @@
+//! Propagation latency models.
+//!
+//! §III of the paper assumes "the typical delay in today's broadband Internet
+//! connection is below 0.1 s"; the default model therefore charges a constant
+//! 50 ms one-way delay (≈0.1 s round trip). A uniform-jitter model and an
+//! explicit per-pair matrix are provided for sensitivity studies.
+
+use rand::Rng;
+
+use crate::node::NodeId;
+use crate::time::SimDuration;
+
+/// A one-way propagation latency model between node pairs.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// The same latency for every pair.
+    Constant(SimDuration),
+    /// Latency drawn uniformly from `[min, max]` per transmission.
+    ///
+    /// Draws are made from the engine's seeded RNG, so runs stay
+    /// reproducible.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: SimDuration,
+        /// Upper bound (inclusive).
+        max: SimDuration,
+    },
+    /// An explicit symmetric matrix indexed by `(from, to)`; missing entries
+    /// fall back to `default`.
+    Matrix {
+        /// Row-major `n × n` one-way latencies.
+        table: Vec<SimDuration>,
+        /// Side length of the matrix.
+        n: usize,
+        /// Fallback latency for out-of-range nodes.
+        default: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// The paper's default: 50 ms one-way (≈0.1 s RTT).
+    pub fn paper_default() -> Self {
+        LatencyModel::Constant(SimDuration::from_millis(50))
+    }
+
+    /// Builds an `n × n` matrix model from a function of the pair.
+    pub fn from_fn(n: usize, default: SimDuration, f: impl Fn(NodeId, NodeId) -> SimDuration) -> Self {
+        let mut table = Vec::with_capacity(n * n);
+        for a in 0..n {
+            for b in 0..n {
+                table.push(f(NodeId(a as u32), NodeId(b as u32)));
+            }
+        }
+        LatencyModel::Matrix { table, n, default }
+    }
+
+    /// Samples the one-way latency from `from` to `to`.
+    pub fn sample<R: Rng + ?Sized>(&self, from: NodeId, to: NodeId, rng: &mut R) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                if max <= min {
+                    *min
+                } else {
+                    let span = max.as_micros() - min.as_micros();
+                    SimDuration::from_micros(min.as_micros() + rng.gen_range(0..=span))
+                }
+            }
+            LatencyModel::Matrix { table, n, default } => {
+                let (a, b) = (from.index(), to.index());
+                if a < *n && b < *n {
+                    table[a * n + b]
+                } else {
+                    *default
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_model() {
+        let m = LatencyModel::paper_default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(
+            m.sample(NodeId(0), NodeId(1), &mut rng),
+            SimDuration::from_millis(50)
+        );
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_millis(10),
+            max: SimDuration::from_millis(90),
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let d = m.sample(NodeId(0), NodeId(1), &mut rng);
+            assert!(d >= SimDuration::from_millis(10));
+            assert!(d <= SimDuration::from_millis(90));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_bounds() {
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_millis(30),
+            max: SimDuration::from_millis(30),
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(
+            m.sample(NodeId(2), NodeId(3), &mut rng),
+            SimDuration::from_millis(30)
+        );
+    }
+
+    #[test]
+    fn matrix_lookup_and_fallback() {
+        let m = LatencyModel::from_fn(3, SimDuration::from_millis(99), |a, b| {
+            SimDuration::from_millis((a.0 * 10 + b.0) as u64)
+        });
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(
+            m.sample(NodeId(2), NodeId(1), &mut rng),
+            SimDuration::from_millis(21)
+        );
+        assert_eq!(
+            m.sample(NodeId(5), NodeId(1), &mut rng),
+            SimDuration::from_millis(99),
+            "out-of-range uses default"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Lightweight event tracing.
+//!
+//! A bounded ring buffer of recent engine events for post-mortem debugging
+//! of protocol runs: when an assertion fires deep in a 5-million-event
+//! simulation, the last few thousand events are usually enough to see what
+//! went wrong, and a full log would be gigabytes.
+//!
+//! The tracer is deliberately engine-agnostic — protocols (and the engine)
+//! push [`TraceEvent`]s; filtering happens at query time.
+
+use std::collections::VecDeque;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// The node it happened at (receiver for deliveries).
+    pub node: NodeId,
+    /// Event class, e.g. `"deliver"`, `"timer"`, `"join"`, `"drop"`.
+    pub kind: &'static str,
+    /// Free-form detail (message debug print, timer token, ...).
+    pub detail: String,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    cap: usize,
+    buf: VecDeque<TraceEvent>,
+    /// Total events ever recorded (including evicted ones).
+    recorded: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A tracer retaining the last `cap` events. A zero capacity disables
+    /// recording entirely.
+    pub fn new(cap: usize) -> Self {
+        Trace {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            recorded: 0,
+            enabled: cap > 0,
+        }
+    }
+
+    /// A disabled tracer (records nothing, costs nothing).
+    pub fn disabled() -> Self {
+        Trace::new(0)
+    }
+
+    /// True if recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Pauses/resumes recording without clearing the buffer.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on && self.cap > 0;
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, node: NodeId, kind: &'static str, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(TraceEvent {
+            at,
+            node,
+            kind,
+            detail: detail.into(),
+        });
+        self.recorded += 1;
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded (retained + evicted).
+    pub fn recorded_total(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Iterates retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Retained events at `node`, oldest-first.
+    pub fn for_node(&self, node: NodeId) -> Vec<&TraceEvent> {
+        self.buf.iter().filter(|e| e.node == node).collect()
+    }
+
+    /// Retained events of the given kind, oldest-first.
+    pub fn of_kind(&self, kind: &str) -> Vec<&TraceEvent> {
+        self.buf.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Renders the retained tail as text, one event per line.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.buf {
+            let _ = writeln!(out, "[{}] {} {:>8}: {}", e.at, e.node, e.kind, e.detail);
+        }
+        out
+    }
+
+    /// Drops all retained events (the total keeps counting).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> (SimTime, NodeId) {
+        (SimTime::from_secs(t), NodeId(t as u32 % 4))
+    }
+
+    #[test]
+    fn records_and_iterates_in_order() {
+        let mut tr = Trace::new(10);
+        for t in 0..5 {
+            let (at, node) = ev(t);
+            tr.record(at, node, "deliver", format!("msg{t}"));
+        }
+        assert_eq!(tr.len(), 5);
+        assert_eq!(tr.recorded_total(), 5);
+        let kinds: Vec<_> = tr.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(kinds, vec!["msg0", "msg1", "msg2", "msg3", "msg4"]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut tr = Trace::new(3);
+        for t in 0..10 {
+            let (at, node) = ev(t);
+            tr.record(at, node, "timer", t.to_string());
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.recorded_total(), 10);
+        let details: Vec<_> = tr.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["7", "8", "9"]);
+    }
+
+    #[test]
+    fn filters_by_node_and_kind() {
+        let mut tr = Trace::new(100);
+        tr.record(SimTime::ZERO, NodeId(1), "join", "");
+        tr.record(SimTime::ZERO, NodeId(2), "join", "");
+        tr.record(SimTime::ZERO, NodeId(1), "deliver", "x");
+        assert_eq!(tr.for_node(NodeId(1)).len(), 2);
+        assert_eq!(tr.of_kind("join").len(), 2);
+        assert_eq!(tr.of_kind("deliver").len(), 1);
+    }
+
+    #[test]
+    fn disabled_tracer_is_free() {
+        let mut tr = Trace::disabled();
+        assert!(!tr.is_enabled());
+        tr.record(SimTime::ZERO, NodeId(0), "deliver", "x");
+        assert!(tr.is_empty());
+        assert_eq!(tr.recorded_total(), 0);
+    }
+
+    #[test]
+    fn pause_and_resume() {
+        let mut tr = Trace::new(10);
+        tr.record(SimTime::ZERO, NodeId(0), "a", "");
+        tr.set_enabled(false);
+        tr.record(SimTime::ZERO, NodeId(0), "b", "");
+        tr.set_enabled(true);
+        tr.record(SimTime::ZERO, NodeId(0), "c", "");
+        let kinds: Vec<_> = tr.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn zero_capacity_cannot_be_enabled() {
+        let mut tr = Trace::new(0);
+        tr.set_enabled(true);
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn dump_and_clear() {
+        let mut tr = Trace::new(10);
+        tr.record(SimTime::from_millis(1500), NodeId(3), "drop", "dead dest");
+        let d = tr.dump();
+        assert!(d.contains("N3"));
+        assert!(d.contains("drop"));
+        assert!(d.contains("dead dest"));
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.recorded_total(), 1);
+    }
+}

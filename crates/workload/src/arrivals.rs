@@ -1,0 +1,141 @@
+//! Viewer arrival patterns.
+//!
+//! §IV brings every node up at `t = 0`, but real channels see flash crowds
+//! and trickles. [`ArrivalPattern`] generalizes the join schedule while
+//! keeping the server (node 0) up from the start.
+
+use dco_sim::node::NodeId;
+use dco_sim::rng::splitmix64;
+use dco_sim::time::{SimDuration, SimTime};
+
+/// When each viewer first joins.
+#[derive(Clone, Debug)]
+pub enum ArrivalPattern {
+    /// Everyone at `t = 0` (the paper's setting).
+    AllAtOnce,
+    /// Evenly spaced over `[0, span]` in node order (a steady ramp).
+    Ramp {
+        /// The ramp duration.
+        span: SimDuration,
+    },
+    /// Poisson arrivals with the given mean inter-arrival gap.
+    Poisson {
+        /// Mean gap between consecutive arrivals.
+        mean_gap: SimDuration,
+        /// Seed for the gap draws.
+        seed: u64,
+    },
+    /// A flash crowd: a fraction arrives in the first instants, the rest
+    /// ramp in over `span`.
+    FlashCrowd {
+        /// Fraction (0–1) of viewers arriving at `t = 0`.
+        initial_fraction: f64,
+        /// Ramp span for the stragglers.
+        span: SimDuration,
+    },
+}
+
+impl ArrivalPattern {
+    /// The join instant of viewer `node` (1-based among `total` viewers;
+    /// node 0 — the server — always joins at zero).
+    pub fn join_time(&self, node: NodeId, total: u32) -> SimTime {
+        if node == NodeId(0) || total <= 1 {
+            return SimTime::ZERO;
+        }
+        let i = node.0.min(total - 1) as u64; // 1..total-1
+        let n = (total - 1) as u64;
+        match self {
+            ArrivalPattern::AllAtOnce => SimTime::ZERO,
+            ArrivalPattern::Ramp { span } => {
+                SimTime::ZERO + SimDuration::from_micros(span.as_micros() * (i - 1) / n.max(1))
+            }
+            ArrivalPattern::Poisson { mean_gap, seed } => {
+                // Sum of i exponential gaps, derived deterministically.
+                let mut t = 0u64;
+                for k in 1..=i {
+                    let r = splitmix64(seed ^ k.wrapping_mul(0x2545_F491_4F6C_DD1D));
+                    let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+                    let gap = -((1.0 - u).max(1e-12)).ln();
+                    t += (gap * mean_gap.as_micros() as f64) as u64;
+                }
+                SimTime::from_micros(t)
+            }
+            ArrivalPattern::FlashCrowd { initial_fraction, span } => {
+                let cut = (n as f64 * initial_fraction.clamp(0.0, 1.0)) as u64;
+                if i <= cut.max(1) {
+                    SimTime::ZERO
+                } else {
+                    let rest = (n - cut).max(1);
+                    SimTime::ZERO
+                        + SimDuration::from_micros(span.as_micros() * (i - cut) / rest)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_always_at_zero() {
+        for p in [
+            ArrivalPattern::AllAtOnce,
+            ArrivalPattern::Ramp { span: SimDuration::from_secs(30) },
+            ArrivalPattern::Poisson { mean_gap: SimDuration::from_secs(1), seed: 4 },
+            ArrivalPattern::FlashCrowd {
+                initial_fraction: 0.5,
+                span: SimDuration::from_secs(60),
+            },
+        ] {
+            assert_eq!(p.join_time(NodeId(0), 100), SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn all_at_once() {
+        let p = ArrivalPattern::AllAtOnce;
+        for i in 1..50 {
+            assert_eq!(p.join_time(NodeId(i), 50), SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn ramp_is_monotone_and_spans_the_window() {
+        let span = SimDuration::from_secs(30);
+        let p = ArrivalPattern::Ramp { span };
+        let mut last = SimTime::ZERO;
+        for i in 1..100u32 {
+            let t = p.join_time(NodeId(i), 100);
+            assert!(t >= last, "monotone in node order");
+            assert!(t <= SimTime::ZERO + span);
+            last = t;
+        }
+        assert_eq!(p.join_time(NodeId(1), 100), SimTime::ZERO);
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_increasing() {
+        let p = ArrivalPattern::Poisson { mean_gap: SimDuration::from_millis(500), seed: 7 };
+        let a = p.join_time(NodeId(10), 100);
+        let b = p.join_time(NodeId(10), 100);
+        assert_eq!(a, b);
+        assert!(p.join_time(NodeId(20), 100) > p.join_time(NodeId(10), 100));
+        // Mean inter-arrival roughly matches over many viewers.
+        let t99 = p.join_time(NodeId(99), 100).as_secs_f64();
+        assert!((20.0..150.0).contains(&t99), "99 gaps of ~0.5s each: {t99}");
+    }
+
+    #[test]
+    fn flash_crowd_splits_initial_and_ramp() {
+        let p = ArrivalPattern::FlashCrowd {
+            initial_fraction: 0.5,
+            span: SimDuration::from_secs(40),
+        };
+        assert_eq!(p.join_time(NodeId(10), 101), SimTime::ZERO, "early half instant");
+        let late = p.join_time(NodeId(90), 101);
+        assert!(late > SimTime::ZERO);
+        assert!(late <= SimTime::from_secs(40));
+    }
+}

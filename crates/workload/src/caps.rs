@@ -1,0 +1,120 @@
+//! Bandwidth capacity profiles.
+//!
+//! §IV fixes the paper's capacities: the server uploads and downloads at
+//! 4000 kbps, every peer at 600 kbps. A heterogeneous profile is provided
+//! for sensitivity studies (the paper's related work discusses treating
+//! high-bandwidth peers differently).
+
+use dco_sim::net::{Kbps, NodeCaps};
+use dco_sim::rng::splitmix64;
+
+/// How node link capacities are assigned.
+#[derive(Clone, Debug)]
+pub enum CapsProfile {
+    /// The paper's setting: one server at 4000 kbps, peers at 600 kbps.
+    PaperDefault,
+    /// Uniform custom rates.
+    Uniform {
+        /// Server capacity (node 0).
+        server: Kbps,
+        /// Peer capacity (all other nodes).
+        peer: Kbps,
+    },
+    /// Heterogeneous peers drawn from a weighted class table
+    /// `(kbps, weight)`; the server keeps its own rate.
+    Heterogeneous {
+        /// Server capacity (node 0).
+        server: Kbps,
+        /// Peer classes with relative weights.
+        classes: Vec<(Kbps, u32)>,
+        /// Seed for the class assignment (deterministic per node index).
+        seed: u64,
+    },
+}
+
+impl CapsProfile {
+    /// The capacities of node `index` (0 = server).
+    pub fn caps_for(&self, index: u32) -> NodeCaps {
+        match self {
+            CapsProfile::PaperDefault => {
+                if index == 0 {
+                    NodeCaps::server_default()
+                } else {
+                    NodeCaps::peer_default()
+                }
+            }
+            CapsProfile::Uniform { server, peer } => {
+                NodeCaps::symmetric(if index == 0 { *server } else { *peer })
+            }
+            CapsProfile::Heterogeneous { server, classes, seed } => {
+                if index == 0 {
+                    return NodeCaps::symmetric(*server);
+                }
+                let total: u64 = classes.iter().map(|&(_, w)| w as u64).sum();
+                assert!(total > 0, "heterogeneous profile needs weights");
+                let mut pick = splitmix64(seed ^ (index as u64).wrapping_mul(0x9E37)) % total;
+                for &(rate, w) in classes {
+                    if pick < w as u64 {
+                        return NodeCaps::symmetric(rate);
+                    }
+                    pick -= w as u64;
+                }
+                unreachable!("weights exhausted")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_4() {
+        let p = CapsProfile::PaperDefault;
+        assert_eq!(p.caps_for(0).up, Kbps(4000));
+        assert_eq!(p.caps_for(1).up, Kbps(600));
+        assert_eq!(p.caps_for(511).down, Kbps(600));
+    }
+
+    #[test]
+    fn uniform_profile() {
+        let p = CapsProfile::Uniform { server: Kbps(10_000), peer: Kbps(1_000) };
+        assert_eq!(p.caps_for(0).up, Kbps(10_000));
+        assert_eq!(p.caps_for(3).down, Kbps(1_000));
+    }
+
+    #[test]
+    fn heterogeneous_is_deterministic_and_weighted() {
+        let p = CapsProfile::Heterogeneous {
+            server: Kbps(4000),
+            classes: vec![(Kbps(300), 1), (Kbps(900), 1)],
+            seed: 7,
+        };
+        assert_eq!(p.caps_for(0).up, Kbps(4000));
+        // Deterministic per index.
+        assert_eq!(p.caps_for(5), p.caps_for(5));
+        // Both classes appear over a population.
+        let mut low = 0;
+        let mut high = 0;
+        for i in 1..=1000 {
+            match p.caps_for(i).up {
+                Kbps(300) => low += 1,
+                Kbps(900) => high += 1,
+                other => panic!("unexpected rate {other}"),
+            }
+        }
+        assert!(low > 350 && high > 350, "low={low} high={high}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn heterogeneous_requires_weights() {
+        let p = CapsProfile::Heterogeneous {
+            server: Kbps(4000),
+            classes: vec![],
+            seed: 1,
+        };
+        p.caps_for(1);
+    }
+}

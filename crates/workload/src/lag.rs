@@ -1,0 +1,93 @@
+//! Viewer playback lags.
+//!
+//! §III-B2 of the paper observes that viewers of the same channel play at
+//! different offsets behind the live edge — "typically on the order of
+//! minutes" — and sizes the live-chunk population (and hence the DHT) from
+//! the largest lag. This module assigns per-viewer lags for experiments
+//! that exercise the prefetch-window math.
+
+use dco_sim::node::NodeId;
+use dco_sim::rng::splitmix64;
+use dco_sim::time::SimDuration;
+
+/// Per-viewer playback lag assignment.
+#[derive(Clone, Debug)]
+pub struct LagProfile {
+    /// Largest lag any viewer can have.
+    pub max_lag: SimDuration,
+    /// Assignment seed.
+    pub seed: u64,
+}
+
+impl LagProfile {
+    /// The paper's example: lags spread up to 10 minutes.
+    pub fn paper_example(seed: u64) -> Self {
+        LagProfile {
+            max_lag: SimDuration::from_secs(600),
+            seed,
+        }
+    }
+
+    /// The lag of `node`, uniform in `[0, max_lag]`, deterministic per
+    /// `(seed, node)`.
+    pub fn lag_of(&self, node: NodeId) -> SimDuration {
+        if self.max_lag.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let r = splitmix64(self.seed ^ u64::from(node.0).wrapping_mul(0xA24B_AED4));
+        SimDuration::from_micros(r % (self.max_lag.as_micros() + 1))
+    }
+
+    /// The number of distinct live chunks in the channel at steady state:
+    /// the prefetch-window chunks plus the lag spread, as computed in the
+    /// paper's §III-B2 example (window chunks + max_lag / chunk_len).
+    pub fn live_chunk_count(
+        &self,
+        window_chunks: u64,
+        chunk_len: SimDuration,
+    ) -> u64 {
+        if chunk_len.is_zero() {
+            return window_chunks;
+        }
+        window_chunks + self.max_lag.as_micros() / chunk_len.as_micros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lags_bounded_and_deterministic() {
+        let p = LagProfile::paper_example(9);
+        for i in 0..500u32 {
+            let l = p.lag_of(NodeId(i));
+            assert!(l <= p.max_lag);
+            assert_eq!(l, p.lag_of(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn zero_max_lag() {
+        let p = LagProfile { max_lag: SimDuration::ZERO, seed: 1 };
+        assert_eq!(p.lag_of(NodeId(3)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lags_spread_across_range() {
+        let p = LagProfile::paper_example(42);
+        let half = p.max_lag / 2;
+        let below = (0..1000u32).filter(|&i| p.lag_of(NodeId(i)) < half).count();
+        assert!((350..=650).contains(&below), "skewed: {below}/1000 below half");
+    }
+
+    #[test]
+    fn paper_live_chunk_example() {
+        // §III-B2: 1/3 s chunks, 20 s window (60 chunks), 10 min lag spread
+        // → 60 + 600/(1/3) = 1860 live chunks.
+        let p = LagProfile::paper_example(1);
+        let n = p.live_chunk_count(60, SimDuration::from_micros(333_333));
+        // 600 s / 0.333333 s = 1800 (integer division ⇒ 1800).
+        assert_eq!(n, 60 + 1800);
+    }
+}

@@ -1,0 +1,215 @@
+//! Experiment scenario construction.
+//!
+//! A [`Scenario`] bundles everything §IV fixes about a run — population,
+//! chunk stream shape, capacities, optional churn — and installs itself into
+//! any protocol's simulator: it creates the nodes with the right link
+//! capacities and schedules every join and leave. The protocol itself is
+//! supplied by the caller (`dco-core` or `dco-baselines`).
+
+use dco_sim::engine::{Protocol, Simulator};
+use dco_sim::msg::SizeBits;
+use dco_sim::node::NodeId;
+use dco_sim::time::{SimDuration, SimTime};
+
+use crate::arrivals::ArrivalPattern;
+use crate::caps::CapsProfile;
+use crate::churn::{ChurnConfig, ChurnEvent, ChurnSchedule};
+
+/// A complete experiment configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Total nodes including the server (node 0).
+    pub n_nodes: u32,
+    /// Number of chunks the server emits.
+    pub n_chunks: u32,
+    /// Chunk payload size (300 kb in the paper).
+    pub chunk_size: SizeBits,
+    /// Interval between chunk emissions (1 s in the paper).
+    pub chunk_interval: SimDuration,
+    /// Capacity profile.
+    pub caps: CapsProfile,
+    /// Optional churn configuration (none = static network).
+    pub churn: Option<ChurnConfig>,
+    /// Join schedule for the churn-free case (ignored when churn is
+    /// enabled — the churn schedule then owns every join/leave).
+    pub arrivals: ArrivalPattern,
+    /// Run horizon: events past this instant are not scheduled and
+    /// measurements stop here.
+    pub horizon: SimTime,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's default no-churn setting: 512 nodes, 100 chunks of
+    /// 300 kb at 1/s, 4000/600 kbps capacities.
+    pub fn paper_default(seed: u64) -> Self {
+        Scenario {
+            n_nodes: 512,
+            n_chunks: 100,
+            chunk_size: SizeBits::from_kilobits(300),
+            chunk_interval: SimDuration::from_secs(1),
+            caps: CapsProfile::PaperDefault,
+            churn: None,
+            arrivals: ArrivalPattern::AllAtOnce,
+            horizon: SimTime::from_secs(200),
+            seed,
+        }
+    }
+
+    /// The paper's churn setting (Figs. 11–12): 200 chunks, 300 s budget.
+    pub fn paper_churn(mean_life_secs: u64, seed: u64) -> Self {
+        Scenario {
+            n_chunks: 200,
+            horizon: SimTime::from_secs(300),
+            churn: Some(ChurnConfig::paper_fig12(mean_life_secs)),
+            ..Scenario::paper_default(seed)
+        }
+    }
+
+    /// The server's node id.
+    pub fn server(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// When chunk `seq` is generated.
+    pub fn chunk_time(&self, seq: u32) -> SimTime {
+        SimTime::ZERO + self.chunk_interval * u64::from(seq)
+    }
+
+    /// Generates the churn schedule for this scenario (empty when churn is
+    /// disabled). The server never churns.
+    pub fn churn_schedule(&self) -> ChurnSchedule {
+        match &self.churn {
+            None => ChurnSchedule::default(),
+            Some(cfg) => {
+                ChurnSchedule::generate(1, self.n_nodes - 1, self.horizon, cfg, self.seed)
+            }
+        }
+    }
+
+    /// Creates all nodes in `sim` and schedules every join/leave. Returns
+    /// the churn schedule used (empty when churn is disabled).
+    pub fn install<P: Protocol>(&self, sim: &mut Simulator<P>) -> ChurnSchedule {
+        for i in 0..self.n_nodes {
+            let id = sim.add_node(self.caps.caps_for(i));
+            debug_assert_eq!(id, NodeId(i));
+        }
+        // Server is always up from t = 0 and joins first.
+        sim.schedule_join(self.server(), SimTime::ZERO);
+        let schedule = self.churn_schedule();
+        if self.churn.is_none() {
+            // No churn: joins follow the arrival pattern (the paper's
+            // setting is everyone at t = 0, right after the server — the
+            // calendar is FIFO at equal instants).
+            for i in 1..self.n_nodes {
+                sim.schedule_join(NodeId(i), self.arrivals.join_time(NodeId(i), self.n_nodes));
+            }
+        } else {
+            for (node, seq) in &schedule.events {
+                for e in seq {
+                    match *e {
+                        ChurnEvent::Join(at) => sim.schedule_join(*node, at),
+                        ChurnEvent::Leave(at, graceful) => {
+                            sim.schedule_leave(*node, at, graceful)
+                        }
+                    }
+                }
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_sim::engine::Ctx;
+    use dco_sim::net::NetConfig;
+
+    /// A protocol that just counts joins and leaves.
+    #[derive(Default)]
+    struct Census {
+        joins: usize,
+        leaves: usize,
+    }
+
+    impl Protocol for Census {
+        type Msg = ();
+        type Timer = ();
+        fn on_join(&mut self, _: NodeId, _: &mut Ctx<'_, Self>) {
+            self.joins += 1;
+        }
+        fn on_message(&mut self, _: NodeId, _: NodeId, _: (), _: &mut Ctx<'_, Self>) {}
+        fn on_timer(&mut self, _: NodeId, _: (), _: &mut Ctx<'_, Self>) {}
+        fn on_leave(&mut self, _: NodeId, _: bool, _: &mut Ctx<'_, Self>) {
+            self.leaves += 1;
+        }
+    }
+
+    #[test]
+    fn paper_default_parameters() {
+        let s = Scenario::paper_default(1);
+        assert_eq!(s.n_nodes, 512);
+        assert_eq!(s.n_chunks, 100);
+        assert_eq!(s.chunk_size.kilobits(), 300);
+        assert_eq!(s.chunk_interval, SimDuration::from_secs(1));
+        assert!(s.churn.is_none());
+        assert_eq!(s.chunk_time(0), SimTime::ZERO);
+        assert_eq!(s.chunk_time(99), SimTime::from_secs(99));
+    }
+
+    #[test]
+    fn static_install_brings_everyone_up() {
+        let s = Scenario {
+            n_nodes: 32,
+            ..Scenario::paper_default(3)
+        };
+        let mut sim = Simulator::new(Census::default(), NetConfig::default(), s.seed);
+        let schedule = s.install(&mut sim);
+        assert!(schedule.events.is_empty());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.protocol().joins, 32);
+        assert_eq!(sim.alive_count(), 32);
+    }
+
+    #[test]
+    fn churn_install_schedules_leaves_and_rejoins() {
+        let s = Scenario {
+            n_nodes: 64,
+            ..Scenario::paper_churn(60, 5)
+        };
+        let mut sim = Simulator::new(Census::default(), NetConfig::default(), s.seed);
+        let schedule = s.install(&mut sim);
+        assert!(schedule.total_leaves() > 0);
+        sim.run_until(SimTime::from_secs(300));
+        let p = sim.protocol();
+        assert!(p.joins > 64, "rejoins happened: {}", p.joins);
+        assert!(p.leaves > 0);
+        assert!(sim.is_alive(NodeId(0)), "server never churns");
+    }
+
+    #[test]
+    fn churn_schedule_is_deterministic() {
+        let s = Scenario::paper_churn(90, 8);
+        assert_eq!(s.churn_schedule().events, s.churn_schedule().events);
+    }
+
+    #[test]
+    fn ramp_arrivals_spread_joins() {
+        let s = Scenario {
+            n_nodes: 16,
+            arrivals: ArrivalPattern::Ramp {
+                span: dco_sim::time::SimDuration::from_secs(10),
+            },
+            ..Scenario::paper_default(4)
+        };
+        let mut sim = Simulator::new(Census::default(), NetConfig::default(), s.seed);
+        s.install(&mut sim);
+        sim.run_until(SimTime::from_secs(5));
+        let mid = sim.protocol().joins;
+        assert!(mid > 1 && mid < 16, "joins mid-ramp: {mid}");
+        sim.run_until(SimTime::from_secs(11));
+        assert_eq!(sim.protocol().joins, 16);
+    }
+}

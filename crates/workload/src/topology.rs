@@ -1,0 +1,175 @@
+//! Synthetic latency topologies.
+//!
+//! P2PSim shipped measured inter-host latency matrices (the King data set);
+//! offline we synthesize the same structure: nodes live in geographic
+//! **regions**, pairs within a region are close, pairs across regions pay a
+//! region-to-region base distance, and every sample carries a small
+//! deterministic per-pair jitter. The result plugs straight into
+//! [`LatencyModel::Matrix`](dco_sim::net::LatencyModel).
+
+use dco_sim::net::LatencyModel;
+use dco_sim::node::NodeId;
+use dco_sim::rng::splitmix64;
+use dco_sim::time::SimDuration;
+
+/// A clustered region topology.
+#[derive(Clone, Debug)]
+pub struct RegionTopology {
+    /// Number of regions.
+    pub regions: u32,
+    /// One-way latency between nodes of the same region.
+    pub intra: SimDuration,
+    /// Base one-way latency between adjacent regions; the effective
+    /// inter-region latency grows with ring distance between regions.
+    pub inter_base: SimDuration,
+    /// Additional per-pair jitter bound (deterministic in the seed).
+    pub jitter: SimDuration,
+    /// Seed for region assignment and jitter.
+    pub seed: u64,
+}
+
+impl RegionTopology {
+    /// A PlanetLab-ish default: 8 regions, 15 ms locally, 40 ms base
+    /// inter-region, ±10 ms jitter.
+    pub fn planetlab_like(seed: u64) -> Self {
+        RegionTopology {
+            regions: 8,
+            intra: SimDuration::from_millis(15),
+            inter_base: SimDuration::from_millis(40),
+            jitter: SimDuration::from_millis(10),
+            seed,
+        }
+    }
+
+    /// The region of `node` (deterministic hash assignment).
+    pub fn region_of(&self, node: NodeId) -> u32 {
+        (splitmix64(self.seed ^ u64::from(node.0).wrapping_mul(0x1234_5677)) % u64::from(self.regions.max(1)))
+            as u32
+    }
+
+    /// One-way latency from `a` to `b` (symmetric, self = 0).
+    pub fn latency(&self, a: NodeId, b: NodeId) -> SimDuration {
+        if a == b {
+            return SimDuration::ZERO;
+        }
+        let (ra, rb) = (self.region_of(a), self.region_of(b));
+        let base = if ra == rb {
+            self.intra
+        } else {
+            // Ring distance between regions scales the inter-region cost.
+            let d = ra.abs_diff(rb).min(self.regions - ra.abs_diff(rb)).max(1);
+            self.inter_base * u64::from(d)
+        };
+        // Symmetric per-pair jitter.
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        let j = splitmix64(self.seed ^ (u64::from(lo) << 32 | u64::from(hi)));
+        let jitter_us = if self.jitter.is_zero() {
+            0
+        } else {
+            j % (self.jitter.as_micros() + 1)
+        };
+        base + SimDuration::from_micros(jitter_us)
+    }
+
+    /// Materializes the full `n × n` matrix as a [`LatencyModel`].
+    pub fn to_latency_model(&self, n: usize) -> LatencyModel {
+        LatencyModel::from_fn(n, self.inter_base, |a, b| self.latency(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> RegionTopology {
+        RegionTopology::planetlab_like(77)
+    }
+
+    #[test]
+    fn self_latency_is_zero_and_pairs_symmetric() {
+        let t = topo();
+        for i in 0..40u32 {
+            assert_eq!(t.latency(NodeId(i), NodeId(i)), SimDuration::ZERO);
+            for j in 0..40u32 {
+                assert_eq!(
+                    t.latency(NodeId(i), NodeId(j)),
+                    t.latency(NodeId(j), NodeId(i)),
+                    "asymmetric pair ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intra_region_is_cheaper_than_inter() {
+        let t = topo();
+        // Find an intra-region pair and an inter-region pair.
+        let mut intra = None;
+        let mut inter = None;
+        'outer: for i in 0..64u32 {
+            for j in (i + 1)..64u32 {
+                let same = t.region_of(NodeId(i)) == t.region_of(NodeId(j));
+                if same && intra.is_none() {
+                    intra = Some(t.latency(NodeId(i), NodeId(j)));
+                }
+                if !same && inter.is_none() {
+                    inter = Some(t.latency(NodeId(i), NodeId(j)));
+                }
+                if intra.is_some() && inter.is_some() {
+                    break 'outer;
+                }
+            }
+        }
+        let (intra, inter) = (intra.unwrap(), inter.unwrap());
+        assert!(
+            intra < inter,
+            "intra {intra} should be cheaper than inter {inter}"
+        );
+        assert!(intra <= SimDuration::from_millis(25), "intra = base + jitter");
+    }
+
+    #[test]
+    fn regions_are_roughly_balanced() {
+        let t = topo();
+        let mut counts = vec![0usize; t.regions as usize];
+        for i in 0..800u32 {
+            counts[t.region_of(NodeId(i)) as usize] += 1;
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            assert!((50..=150).contains(&c), "region {r} has {c} of 800");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = RegionTopology::planetlab_like(5);
+        let b = RegionTopology::planetlab_like(5);
+        let c = RegionTopology::planetlab_like(6);
+        assert_eq!(
+            a.latency(NodeId(3), NodeId(9)),
+            b.latency(NodeId(3), NodeId(9))
+        );
+        assert!(
+            a.region_of(NodeId(3)) != c.region_of(NodeId(3))
+                || a.latency(NodeId(3), NodeId(9)) != c.latency(NodeId(3), NodeId(9)),
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn matrix_model_round_trips() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let t = topo();
+        let m = t.to_latency_model(16);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..16u32 {
+            for j in 0..16u32 {
+                assert_eq!(
+                    m.sample(NodeId(i), NodeId(j), &mut rng),
+                    t.latency(NodeId(i), NodeId(j))
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests spanning workload generation, metrics bookkeeping and
+//! the DCO protocol's conservation laws.
+
+use dco::core::proto::{DcoConfig, DcoProtocol};
+use dco::metrics::StreamObserver;
+use dco::sim::prelude::*;
+use dco::workload::{ChurnConfig, ChurnSchedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Churn schedules are alternating, time-ordered, and deterministic in
+    /// the seed, for arbitrary parameters.
+    #[test]
+    fn churn_schedules_are_well_formed(
+        count in 1u32..60,
+        mean_life in 5u64..120,
+        graceful in 0.0f64..=1.0,
+        seed: u64,
+    ) {
+        let cfg = ChurnConfig {
+            mean_life: SimDuration::from_secs(mean_life),
+            mean_join_interval: SimDuration::from_secs(mean_life),
+            graceful_fraction: graceful,
+            start_after: SimTime::ZERO,
+        };
+        let horizon = SimTime::from_secs(240);
+        let s1 = ChurnSchedule::generate(1, count, horizon, &cfg, seed);
+        let s2 = ChurnSchedule::generate(1, count, horizon, &cfg, seed);
+        prop_assert_eq!(&s1.events, &s2.events, "seed-deterministic");
+        for (_, seq) in &s1.events {
+            let mut last = SimTime::ZERO;
+            for (i, e) in seq.iter().enumerate() {
+                let (t, is_join) = match *e {
+                    dco::workload::ChurnEvent::Join(t) => (t, true),
+                    dco::workload::ChurnEvent::Leave(t, _) => (t, false),
+                };
+                prop_assert_eq!(is_join, i % 2 == 0, "alternation");
+                prop_assert!(t >= last, "ordering");
+                prop_assert!(t < horizon, "clipped to horizon");
+                last = t;
+            }
+        }
+    }
+
+    /// Observer conservation: received ≤ expected; fill ratios are in
+    /// [0, 1] and monotone in time, for arbitrary reception patterns.
+    #[test]
+    fn observer_invariants_hold(
+        n_nodes in 1usize..20,
+        n_chunks in 1u32..30,
+        receptions in prop::collection::vec((0u32..30, 0u32..20, 0u64..500), 0..200),
+    ) {
+        let mut obs = StreamObserver::new(n_nodes, n_chunks as usize);
+        for seq in 0..n_chunks {
+            obs.record_generated(seq, SimTime::from_secs(u64::from(seq)));
+            for node in 0..n_nodes {
+                obs.mark_expected(seq, NodeId(node as u32));
+            }
+        }
+        for (seq, node, t) in receptions {
+            if seq < n_chunks && (node as usize) < n_nodes {
+                obs.record_received(seq, NodeId(node), SimTime::from_secs(t));
+            }
+        }
+        prop_assert!(obs.received_pairs() <= obs.expected_pairs());
+        let mut last = -1.0f64;
+        for t in (0..500).step_by(50) {
+            let f = obs.global_fill_ratio(SimTime::from_secs(t));
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last, "fill monotone in time");
+            last = f;
+        }
+    }
+
+    /// DCO conservation on arbitrary small static networks: every received
+    /// pair was generated, reception never exceeds the audience, and all
+    /// overhead tags belong to the protocol's vocabulary.
+    #[test]
+    fn dco_run_conservation(n_nodes in 4u32..24, n_chunks in 1u32..12, seed: u64) {
+        let cfg = DcoConfig::paper_default(n_nodes, n_chunks);
+        let mut sim = Simulator::new(DcoProtocol::new(cfg), NetConfig::paper_model(), seed);
+        for i in 0..n_nodes {
+            let caps = if i == 0 {
+                NodeCaps::server_default()
+            } else {
+                NodeCaps::peer_default()
+            };
+            let id = sim.add_node(caps);
+            sim.schedule_join(id, SimTime::ZERO);
+        }
+        sim.run_until(SimTime::from_secs(u64::from(n_chunks) + 40));
+        let p = sim.protocol();
+        prop_assert_eq!(
+            p.obs.expected_pairs(),
+            (n_nodes as usize - 1) * n_chunks as usize
+        );
+        prop_assert!(p.obs.received_pairs() <= p.obs.expected_pairs());
+        // Static + no loss ⇒ everything arrives.
+        prop_assert_eq!(p.obs.received_pairs(), p.obs.expected_pairs());
+        for (tag, _) in sim.counters().tags() {
+            prop_assert!(
+                tag.starts_with("dco.") || tag.starts_with("chord."),
+                "unknown overhead tag {}",
+                tag
+            );
+        }
+    }
+}
