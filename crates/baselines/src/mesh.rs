@@ -8,8 +8,7 @@
 //! role of the membership tracker real deployments run.
 
 use dco_sim::node::NodeId;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use dco_sim::rng::SimRng;
 
 /// The random mesh graph plus liveness.
 #[derive(Clone, Debug)]
@@ -73,14 +72,14 @@ impl MeshCore {
 
     /// Brings `node` up and wires it to up to `k` random alive peers.
     /// Returns its new neighbor list.
-    pub fn join<R: Rng + ?Sized>(&mut self, node: NodeId, rng: &mut R) -> Vec<NodeId> {
+    pub fn join(&mut self, node: NodeId, rng: &mut SimRng) -> Vec<NodeId> {
         self.alive[node.index()] = true;
         let mut candidates: Vec<NodeId> = self
             .alive_nodes()
             .into_iter()
             .filter(|&n| n != node && !self.links[node.index()].contains(&n))
             .collect();
-        candidates.shuffle(rng);
+        rng.shuffle(&mut candidates);
         let need = self.k.saturating_sub(self.links[node.index()].len());
         for &peer in candidates.iter().take(need) {
             self.link(node, peer);
@@ -92,7 +91,7 @@ impl MeshCore {
     /// neighbor a random replacement. Returns `(bereaved, replacement)`
     /// pairs for the protocol to act on (e.g. send the new neighbor a
     /// buffer map).
-    pub fn leave<R: Rng + ?Sized>(&mut self, node: NodeId, rng: &mut R) -> Vec<(NodeId, NodeId)> {
+    pub fn leave(&mut self, node: NodeId, rng: &mut SimRng) -> Vec<(NodeId, NodeId)> {
         if !self.alive[node.index()] {
             return Vec::new();
         }
@@ -136,11 +135,9 @@ impl MeshCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(9)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(9)
     }
 
     #[test]
@@ -201,7 +198,10 @@ mod tests {
         let repairs = m.leave(victim, &mut r);
         assert!(!m.is_alive(victim));
         for i in 0..16u32 {
-            assert!(!m.neighbors(NodeId(i)).contains(&victim), "N{i} still linked");
+            assert!(
+                !m.neighbors(NodeId(i)).contains(&victim),
+                "N{i} still linked"
+            );
         }
         // Every bereaved neighbor got a repair offer.
         for b in bereaved_before {
@@ -228,11 +228,13 @@ mod tests {
     fn deterministic_under_seed() {
         let build = |seed| {
             let mut m = MeshCore::new(20, 5);
-            let mut r = SmallRng::seed_from_u64(seed);
+            let mut r = SimRng::seed_from_u64(seed);
             for i in 0..20u32 {
                 m.join(NodeId(i), &mut r);
             }
-            (0..20u32).map(|i| m.neighbors(NodeId(i)).to_vec()).collect::<Vec<_>>()
+            (0..20u32)
+                .map(|i| m.neighbors(NodeId(i)).to_vec())
+                .collect::<Vec<_>>()
         };
         assert_eq!(build(1), build(1));
         assert_ne!(build(1), build(2));

@@ -119,7 +119,9 @@ impl PullProtocol {
     }
 
     fn send_bufmaps(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self>) {
-        let Some(st) = self.nodes[node.index()].as_ref() else { return };
+        let Some(st) = self.nodes[node.index()].as_ref() else {
+            return;
+        };
         let snap = st.buffer.snapshot();
         for &nb in self.mesh.neighbors(node) {
             ctx.send_control(node, nb, PullMsg::Bufmap(snap.clone()), "pull.bufmap");
@@ -127,14 +129,18 @@ impl PullProtocol {
     }
 
     fn pull_loop(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self>) {
-        let Some(latest) = self.latest(ctx.now()) else { return };
+        let Some(latest) = self.latest(ctx.now()) else {
+            return;
+        };
         let neighbors: Vec<NodeId> = self.mesh.neighbors(node).to_vec();
         if neighbors.is_empty() {
             return;
         }
         let timeout = self.cfg.request_timeout;
         let max_inflight = self.cfg.max_inflight;
-        let Some(st) = self.state_mut(node) else { return };
+        let Some(st) = self.state_mut(node) else {
+            return;
+        };
         if latest < st.first_seq {
             return;
         }
@@ -172,11 +178,7 @@ impl PullProtocol {
             let mut chosen = None;
             for off in 0..n {
                 let cand = neighbors[(st.cursor + off) % n];
-                let has = st
-                    .maps
-                    .get(&cand.0)
-                    .map(|m| m.has(seq))
-                    .unwrap_or(false);
+                let has = st.maps.get(&cand.0).map(|m| m.has(seq)).unwrap_or(false);
                 if has {
                     chosen = Some(cand);
                     st.cursor = (st.cursor + off + 1) % n;
@@ -191,7 +193,11 @@ impl PullProtocol {
         }
         for (seq, p) in requests {
             ctx.send_control(node, p, PullMsg::Request { seq }, "pull.request");
-            ctx.set_timer(node, timeout, PullTimer::RequestTimeout { seq, provider: p });
+            ctx.set_timer(
+                node,
+                timeout,
+                PullTimer::RequestTimeout { seq, provider: p },
+            );
         }
     }
 }
@@ -364,7 +370,11 @@ mod tests {
         sim.run_until(SimTime::from_secs(120));
         let p = sim.protocol();
         assert_eq!(p.obs.expected_pairs(), 150);
-        assert_eq!(p.obs.received_pairs(), 150, "pull eventually fetches everything");
+        assert_eq!(
+            p.obs.received_pairs(),
+            150,
+            "pull eventually fetches everything"
+        );
         assert!(sim.counters().tagged("pull.bufmap") > 0);
         assert!(sim.counters().tagged("pull.request") > 0);
     }
@@ -390,7 +400,10 @@ mod tests {
             sim.schedule_join(NodeId(i), SimTime::from_secs(t + 8));
         }
         sim.run_until(SimTime::from_secs(150));
-        let pct = sim.protocol().obs.received_percentage(SimTime::from_secs(150));
+        let pct = sim
+            .protocol()
+            .obs
+            .received_percentage(SimTime::from_secs(150));
         assert!(pct > 85.0, "pull under churn got only {pct:.1}%");
     }
 

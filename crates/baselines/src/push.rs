@@ -115,8 +115,12 @@ impl PushProtocol {
             None => return, // nothing is old enough to repair yet
         };
         let gap = {
-            let Some(st) = self.nodes[node.index()].as_ref() else { return };
-            let Some(view) = st.views.get(&neighbor.0) else { return };
+            let Some(st) = self.nodes[node.index()].as_ref() else {
+                return;
+            };
+            let Some(view) = st.views.get(&neighbor.0) else {
+                return;
+            };
             st.buffer
                 .held_that_other_misses(view, ChunkSeq(0), ChunkSeq(age_floor))
         };
@@ -129,21 +133,23 @@ impl PushProtocol {
         // still sees a few repair offers per round without a pile-up.
         let deg = self.mesh.neighbors(node).len().max(1);
         let idle = ctx.upload_backlog(node).is_zero();
-        if !idle && deg > 4 && !rand::Rng::gen_bool(ctx.rng(), (4.0 / deg as f64).clamp(0.0, 1.0)) {
+        if !idle && deg > 4 && !ctx.rng().gen_bool((4.0 / deg as f64).clamp(0.0, 1.0)) {
             return;
         }
         // Random picks from the gap: uniform choice spreads concurrent
         // providers across the gap instead of colliding on one hole.
         let mut picks = Vec::with_capacity(batch.min(gap.len()));
         for _ in 0..batch.min(gap.len()) {
-            let c = gap[rand::Rng::gen_range(ctx.rng(), 0..gap.len())];
+            let c = gap[ctx.rng().gen_range(0..gap.len())];
             if !picks.contains(&c) {
                 picks.push(c);
             }
         }
         let mut sent = 0u64;
         {
-            let Some(st) = self.state_mut(node) else { return };
+            let Some(st) = self.state_mut(node) else {
+                return;
+            };
             let view = st.views.entry(neighbor.0).or_default();
             for seq in picks {
                 if ctx.upload_backlog(node) > busy_cap {
@@ -171,7 +177,9 @@ impl PushProtocol {
         }
         let mut sent = 0u64;
         {
-            let Some(st) = self.state_mut(node) else { return };
+            let Some(st) = self.state_mut(node) else {
+                return;
+            };
             let start = st.cursor % neighbors.len();
             st.cursor = st.cursor.wrapping_add(1);
             for off in 0..neighbors.len() {
@@ -367,8 +375,10 @@ mod tests {
             sim.schedule_join(NodeId(i), SimTime::from_secs(t + 8));
         }
         sim.run_until(SimTime::from_secs(150));
-        let pct = sim.protocol().obs.received_percentage(SimTime::from_secs(150));
+        let pct = sim
+            .protocol()
+            .obs
+            .received_percentage(SimTime::from_secs(150));
         assert!(pct > 75.0, "push under churn got only {pct:.1}%");
     }
 }
-

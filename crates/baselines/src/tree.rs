@@ -277,7 +277,10 @@ mod tests {
         narrow.run_until(SimTime::from_secs(90));
         let mut wide = build(32, 6, 31, 3);
         wide.run_until(SimTime::from_secs(90));
-        let d_narrow = narrow.protocol().obs.mean_mesh_delay(SimTime::from_secs(90));
+        let d_narrow = narrow
+            .protocol()
+            .obs
+            .mean_mesh_delay(SimTime::from_secs(90));
         let d_wide = wide.protocol().obs.mean_mesh_delay(SimTime::from_secs(90));
         assert!(
             d_wide > d_narrow,

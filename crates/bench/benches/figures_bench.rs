@@ -1,11 +1,10 @@
-//! One Criterion bench per paper figure, at a tiny proportional scale —
+//! One timing entry per paper figure, at a tiny proportional scale —
 //! these keep the figure pipelines exercised (and timed) on every
 //! `cargo bench`, while the full-scale tables come from the `figures`
 //! binary (`cargo run --release -p dco-bench --bin figures -- all`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
 use dco_bench::figs::{self, FigScale};
+use dco_bench::timing::{bench, header};
 
 fn bench_scale() -> FigScale {
     FigScale {
@@ -19,41 +18,19 @@ fn bench_scale() -> FigScale {
         default_neighbors: 8,
         fill_offset_secs: 5,
         seeds: vec![42],
+        jobs: 0,
     }
 }
 
-macro_rules! fig_bench {
-    ($fn_name:ident, $fig:ident) => {
-        fn $fn_name(c: &mut Criterion) {
-            let scale = bench_scale();
-            let mut g = c.benchmark_group("figures");
-            g.sample_size(10);
-            g.bench_function(stringify!($fig), |b| {
-                b.iter(|| black_box(figs::$fig(&scale)))
-            });
-            g.finish();
-        }
-    };
+fn main() {
+    let scale = bench_scale();
+    header("figures (tiny scale)");
+    bench("fig5", 5, || figs::fig5(&scale));
+    bench("fig6", 5, || figs::fig6(&scale));
+    bench("fig7", 5, || figs::fig7(&scale));
+    bench("fig8", 5, || figs::fig8(&scale));
+    bench("fig9", 5, || figs::fig9(&scale));
+    bench("fig10", 5, || figs::fig10(&scale));
+    bench("fig11", 5, || figs::fig11(&scale));
+    bench("fig12", 5, || figs::fig12(&scale));
 }
-
-fig_bench!(bench_fig5, fig5);
-fig_bench!(bench_fig6, fig6);
-fig_bench!(bench_fig7, fig7);
-fig_bench!(bench_fig8, fig8);
-fig_bench!(bench_fig9, fig9);
-fig_bench!(bench_fig10, fig10);
-fig_bench!(bench_fig11, fig11);
-fig_bench!(bench_fig12, fig12);
-
-criterion_group!(
-    figures,
-    bench_fig5,
-    bench_fig6,
-    bench_fig7,
-    bench_fig8,
-    bench_fig9,
-    bench_fig10,
-    bench_fig11,
-    bench_fig12
-);
-criterion_main!(figures);

@@ -1,11 +1,11 @@
 //! Microbenchmarks for the hot paths of the substrates: the event
 //! calendar, Chord routing, consistent hashing, index-table selection and
-//! the buffer-map bit operations.
+//! the buffer-map bit operations. Plain timing mains (no external bench
+//! framework); run with `cargo bench -p dco-bench --bench micro`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use std::hint::black_box;
 
+use dco_bench::timing::{bench, header};
 use dco_core::buffer::BufferMap;
 use dco_core::chunk::ChunkSeq;
 use dco_core::index::{ChunkIndex, IndexTable, SelectPolicy};
@@ -15,60 +15,57 @@ use dco_dht::id::{ChordId, Peer};
 use dco_sim::net::Kbps;
 use dco_sim::node::NodeId;
 use dco_sim::queue::EventQueue;
+use dco_sim::rng::SimRng;
 use dco_sim::time::SimTime;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::with_capacity(1024);
-            for i in 0..1024u64 {
-                q.push(SimTime::from_micros(i * 37 % 4096), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
+fn bench_event_queue() {
+    bench("event_queue/push_pop_1k", 200, || {
+        let mut q = EventQueue::with_capacity(1024);
+        for i in 0..1024u64 {
+            q.push(SimTime::from_micros(i * 37 % 4096), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
     });
 }
 
-fn bench_hashing(c: &mut Criterion) {
-    c.bench_function("hash/chunk_name", |b| {
-        b.iter(|| black_box(hash_name(black_box("CNN1230773442"))))
+fn bench_hashing() {
+    bench("hash/chunk_name", 1000, || {
+        hash_name(black_box("CNN1230773442"))
     });
-    c.bench_function("hash/node_id", |b| {
-        b.iter(|| black_box(hash_node(black_box(NodeId(271828)))))
+    bench("hash/node_id", 1000, || {
+        hash_node(black_box(NodeId(271828)))
     });
 }
 
-fn bench_chord_routing(c: &mut Criterion) {
+fn bench_chord_routing() {
     let peers: Vec<Peer> = (0..512)
         .map(|i| Peer::new(hash_node(NodeId(i)), NodeId(i)))
         .collect();
     let net = ChordNet::build_static(&peers, ChordConfig::default());
-    let mut rng = SmallRng::seed_from_u64(1);
-    c.bench_function("chord/route_walk_512", |b| {
-        b.iter(|| {
-            let key = ChordId(rng.gen());
-            let mut at = NodeId(rng.gen_range(0..512));
-            let mut hops = 0u32;
-            loop {
-                match net.route_next(at, key).unwrap() {
-                    RouteDecision::Deliver => break,
-                    RouteDecision::DeliverAt(_) => break,
-                    RouteDecision::Forward(p) => {
-                        at = p.node;
-                        hops += 1;
-                    }
+    let mut rng = SimRng::seed_from_u64(1);
+    bench("chord/route_walk_512", 1000, || {
+        let key = ChordId(rng.gen());
+        let mut at = NodeId(rng.gen_range(0..512u32));
+        let mut hops = 0u32;
+        loop {
+            match net.route_next(at, key).unwrap() {
+                RouteDecision::Deliver => break,
+                RouteDecision::DeliverAt(_) => break,
+                RouteDecision::Forward(p) => {
+                    at = p.node;
+                    hops += 1;
                 }
             }
-            black_box(hops)
-        })
+        }
+        hops
     });
 }
 
-fn bench_index_table(c: &mut Criterion) {
+fn bench_index_table() {
     let mut table = IndexTable::new();
     let key = ChordId(42);
     for h in 0..64u32 {
@@ -82,29 +79,25 @@ fn bench_index_table(c: &mut Criterion) {
             },
         );
     }
-    let mut rng = SmallRng::seed_from_u64(2);
-    c.bench_function("index/select_64_providers", |b| {
-        b.iter(|| {
-            black_box(table.select(
-                key,
-                Kbps(300),
-                SelectPolicy::SufficientBandwidth,
-                &[NodeId(3)],
-                &mut rng,
-            ))
-        })
+    let mut rng = SimRng::seed_from_u64(2);
+    bench("index/select_64_providers", 1000, || {
+        table.select(
+            key,
+            Kbps(300),
+            SelectPolicy::SufficientBandwidth,
+            &[NodeId(3)],
+            &mut rng,
+        )
     });
 }
 
-fn bench_buffer_map(c: &mut Criterion) {
-    c.bench_function("bufmap/insert_scan_200", |b| {
-        b.iter(|| {
-            let mut m = BufferMap::new(200);
-            for s in (0..200u32).step_by(3) {
-                m.insert(ChunkSeq(s));
-            }
-            black_box(m.missing_in(ChunkSeq(0), ChunkSeq(199)).len())
-        })
+fn bench_buffer_map() {
+    bench("bufmap/insert_scan_200", 500, || {
+        let mut m = BufferMap::new(200);
+        for s in (0..200u32).step_by(3) {
+            m.insert(ChunkSeq(s));
+        }
+        m.missing_in(ChunkSeq(0), ChunkSeq(199)).len()
     });
     let mut a = BufferMap::new(200);
     let mut bmap = BufferMap::new(200);
@@ -114,17 +107,17 @@ fn bench_buffer_map(c: &mut Criterion) {
     for s in 0..100u32 {
         bmap.insert(ChunkSeq(s * 2 % 200));
     }
-    c.bench_function("bufmap/gap_computation", |b| {
-        b.iter(|| black_box(a.held_that_other_misses(&bmap, ChunkSeq(0), ChunkSeq(199)).len()))
+    bench("bufmap/gap_computation", 500, || {
+        a.held_that_other_misses(&bmap, ChunkSeq(0), ChunkSeq(199))
+            .len()
     });
 }
 
-criterion_group!(
-    micro,
-    bench_event_queue,
-    bench_hashing,
-    bench_chord_routing,
-    bench_index_table,
-    bench_buffer_map
-);
-criterion_main!(micro);
+fn main() {
+    header("micro");
+    bench_event_queue();
+    bench_hashing();
+    bench_chord_routing();
+    bench_index_table();
+    bench_buffer_map();
+}

@@ -1,11 +1,11 @@
 //! End-to-end protocol benches: one small streaming run per method, plus
-//! the ablation pipelines. These time the simulator itself (events/sec)
-//! under each protocol's message mix.
-
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+//! the ablation pipelines and a tiny batch sweep. These time the simulator
+//! itself (events/sec) under each protocol's message mix.
 
 use dco_bench::ablation;
 use dco_bench::figs::FigScale;
+use dco_bench::sweep::{run_sweep, SweepConfig};
+use dco_bench::timing::{bench, header};
 use dco_bench::{run, Method, RunParams};
 
 fn tiny_params() -> RunParams {
@@ -17,19 +17,15 @@ fn tiny_params() -> RunParams {
     p
 }
 
-fn bench_protocol_runs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("protocol_run_32n_10c");
-    g.sample_size(10);
+fn bench_protocol_runs() {
+    header("protocol_run_32n_10c");
     for m in [Method::Dco, Method::Push, Method::Pull, Method::Tree] {
-        g.bench_function(m.label(), |b| {
-            let p = tiny_params();
-            b.iter(|| black_box(run(m, &p).received_pct))
-        });
+        let p = tiny_params();
+        bench(m.label(), 10, || run(m, &p).received_pct);
     }
-    g.finish();
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn bench_ablations() {
     let scale = FigScale {
         n_nodes: 20,
         n_chunks: 8,
@@ -41,23 +37,26 @@ fn bench_ablations(c: &mut Criterion) {
         default_neighbors: 8,
         fill_offset_secs: 5,
         seeds: vec![3],
+        jobs: 0,
     };
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("selection", |b| {
-        b.iter(|| black_box(ablation::ablate_selection(&scale)))
+    header("ablations");
+    bench("selection", 10, || ablation::ablate_selection(&scale));
+    bench("window", 10, || ablation::ablate_window(&scale));
+    bench("tier", 10, || ablation::ablate_tier(&scale));
+    bench("bandwidth_model", 10, || {
+        ablation::ablate_bandwidth_model(&scale)
     });
-    g.bench_function("window", |b| {
-        b.iter(|| black_box(ablation::ablate_window(&scale)))
-    });
-    g.bench_function("tier", |b| {
-        b.iter(|| black_box(ablation::ablate_tier(&scale)))
-    });
-    g.bench_function("bandwidth_model", |b| {
-        b.iter(|| black_box(ablation::ablate_bandwidth_model(&scale)))
-    });
-    g.finish();
 }
 
-criterion_group!(protocols, bench_protocol_runs, bench_ablations);
-criterion_main!(protocols);
+fn bench_sweep() {
+    header("sweep");
+    let mut cfg = SweepConfig::tiny();
+    cfg.jobs = 0;
+    bench("tiny_grid", 5, || run_sweep(&cfg).rows.len());
+}
+
+fn main() {
+    bench_protocol_runs();
+    bench_ablations();
+    bench_sweep();
+}

@@ -17,10 +17,10 @@ use dco_sim::engine::Simulator;
 use dco_sim::net::NetConfig;
 use dco_sim::time::{SimDuration, SimTime};
 use dco_workload::Scenario;
-use rayon::prelude::*;
 
 use crate::figs::FigScale;
 use crate::runner::overhead_units;
+use crate::sweep::pool;
 
 /// One ablation variant: a label plus the config/network it runs with.
 struct Variant {
@@ -92,17 +92,20 @@ pub fn ablate_selection(scale: &FigScale) -> Vec<AblationRow> {
             cfg: base_cfg(scale, false),
             net: NetConfig::paper_model(),
         },
-        Variant { label: "random provider", cfg: random, net: NetConfig::paper_model() },
+        Variant {
+            label: "random provider",
+            cfg: random,
+            net: NetConfig::paper_model(),
+        },
         Variant {
             label: "least-loaded (extension)",
             cfg: least,
             net: NetConfig::paper_model(),
         },
     ];
-    variants
-        .par_iter()
-        .map(|v| run_variant(v, scale, scale.seeds[0], false))
-        .collect()
+    pool::par_map(scale.jobs.max(variants.len()), &variants, |v| {
+        run_variant(v, scale, scale.seeds[0], false)
+    })
 }
 
 /// Prefetch window: Eq. 2 adaptation vs fixed base window, under churn
@@ -116,12 +119,15 @@ pub fn ablate_window(scale: &FigScale) -> Vec<AblationRow> {
             cfg: base_cfg(scale, true),
             net: NetConfig::paper_model(),
         },
-        Variant { label: "fixed window", cfg: fixed, net: NetConfig::paper_model() },
+        Variant {
+            label: "fixed window",
+            cfg: fixed,
+            net: NetConfig::paper_model(),
+        },
     ];
-    variants
-        .par_iter()
-        .map(|v| run_variant(v, scale, scale.seeds[0], true))
-        .collect()
+    pool::par_map(scale.jobs.max(variants.len()), &variants, |v| {
+        run_variant(v, scale, scale.seeds[0], true)
+    })
 }
 
 /// Tier mode: the §IV flat ring vs §III's hierarchical infrastructure.
@@ -138,12 +144,15 @@ pub fn ablate_tier(scale: &FigScale) -> Vec<AblationRow> {
             cfg: base_cfg(scale, false),
             net: NetConfig::paper_model(),
         },
-        Variant { label: "hierarchical (§III)", cfg: hier, net: NetConfig::paper_model() },
+        Variant {
+            label: "hierarchical (§III)",
+            cfg: hier,
+            net: NetConfig::paper_model(),
+        },
     ];
-    variants
-        .par_iter()
-        .map(|v| run_variant(v, scale, scale.seeds[0], false))
-        .collect()
+    pool::par_map(scale.jobs.max(variants.len()), &variants, |v| {
+        run_variant(v, scale, scale.seeds[0], false)
+    })
 }
 
 /// Bandwidth model: the paper's sender-side-only queueing vs the full
@@ -161,10 +170,9 @@ pub fn ablate_bandwidth_model(scale: &FigScale) -> Vec<AblationRow> {
             net: NetConfig::default(),
         },
     ];
-    variants
-        .par_iter()
-        .map(|v| run_variant(v, scale, scale.seeds[0], false))
-        .collect()
+    pool::par_map(scale.jobs.max(variants.len()), &variants, |v| {
+        run_variant(v, scale, scale.seeds[0], false)
+    })
 }
 
 /// Renders ablation rows as an aligned text table.
@@ -214,6 +222,7 @@ mod tests {
             default_neighbors: 8,
             fill_offset_secs: 5,
             seeds: vec![3],
+            jobs: 2,
         }
     }
 

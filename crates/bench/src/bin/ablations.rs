@@ -21,7 +21,8 @@ fn main() {
         None => FigScale::small(),
     };
 
-    let studies: [(&str, fn(&FigScale) -> Vec<ablation::AblationRow>); 4] = [
+    type Study = fn(&FigScale) -> Vec<ablation::AblationRow>;
+    let studies: [(&str, Study); 4] = [
         (
             "Ablation A: provider selection (sufficient-bandwidth vs random)",
             ablation::ablate_selection,

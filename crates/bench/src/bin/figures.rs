@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! figures [fig5 fig6 ... fig12 | all] [--scale paper|small] [--seeds N] [--out DIR]
+//! figures [fig5 fig6 ... fig12 | all] [--scale paper|small] [--seeds N] [--jobs N] [--out DIR]
 //! ```
 //!
 //! With `--out DIR` each figure is also written as `DIR/<fig>.csv`.
@@ -34,14 +34,18 @@ fn main() {
             }
             "--seeds" => {
                 i += 1;
-                let n: u64 = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seeds needs a number");
-                        std::process::exit(2);
-                    });
-                scale.seeds = (0..n).map(|k| 42 + k).collect();
+                let n: u64 = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seeds needs a number");
+                    std::process::exit(2);
+                });
+                scale.seeds = dco_workload::ScenarioGrid::seed_list(42, n as usize);
+            }
+            "--jobs" => {
+                i += 1;
+                scale.jobs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a number");
+                    std::process::exit(2);
+                });
             }
             "--out" => {
                 i += 1;

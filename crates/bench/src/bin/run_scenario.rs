@@ -31,7 +31,9 @@ fn parse() -> Result<Args, String> {
         let key = argv[i].as_str();
         let mut val = || -> Result<&str, String> {
             i += 1;
-            argv.get(i).map(String::as_str).ok_or(format!("{key} needs a value"))
+            argv.get(i)
+                .map(String::as_str)
+                .ok_or(format!("{key} needs a value"))
         };
         match key {
             "--method" => {
@@ -78,7 +80,8 @@ fn main() {
     let r = run(args.method, &args.params);
     let wall = t0.elapsed();
 
-    println!("== {} | {} nodes | {} chunks | {} neighbors | churn: {} | seed {} ==",
+    println!(
+        "== {} | {} nodes | {} chunks | {} neighbors | churn: {} | seed {} ==",
         args.method.label(),
         args.params.n_nodes,
         args.params.n_chunks,

@@ -2,17 +2,20 @@
 //!
 //! Each generator returns a [`Figure`] whose series carry the same labels
 //! and axes as the paper. Sweep points are independent simulations, so they
-//! run in parallel with rayon; every point is averaged over the scale's
-//! seeds. [`FigScale::paper`] reproduces the published parameters;
-//! [`FigScale::small`] is a fast proportional variant for tests and
-//! Criterion benches.
+//! run in parallel on the sweep harness's scoped-thread pool
+//! ([`crate::sweep::pool`]): each figure flattens its `(seed × method ×
+//! point)` product into one job list and maps it once — no nested pools,
+//! and full parallelism even with a single seed. Every point is averaged
+//! over the scale's seeds. [`FigScale::paper`] reproduces the published
+//! parameters; [`FigScale::small`] is a fast proportional variant for
+//! tests and benches.
 
 use dco_metrics::{average_figures, Figure, Series};
 use dco_sim::time::SimTime;
-use dco_workload::ChurnConfig;
-use rayon::prelude::*;
+use dco_workload::{ChurnConfig, ScenarioGrid};
 
 use crate::runner::{run, Method, RunParams, RunResult};
+use crate::sweep::pool;
 
 /// Experiment sizing.
 #[derive(Clone, Debug)]
@@ -39,6 +42,8 @@ pub struct FigScale {
     pub fill_offset_secs: u64,
     /// Seeds averaged per point.
     pub seeds: Vec<u64>,
+    /// Worker threads for the sweep pool (0 = all cores).
+    pub jobs: usize,
 }
 
 impl FigScale {
@@ -54,7 +59,8 @@ impl FigScale {
             population_sweep: vec![128, 256, 384, 512, 640, 768, 896, 1024],
             default_neighbors: 32,
             fill_offset_secs: 15,
-            seeds: vec![42],
+            seeds: ScenarioGrid::seed_list(42, 5),
+            jobs: 0,
         }
     }
 
@@ -71,6 +77,7 @@ impl FigScale {
             default_neighbors: 16,
             fill_offset_secs: 5,
             seeds: vec![42],
+            jobs: 0,
         }
     }
 
@@ -97,6 +104,14 @@ impl FigScale {
         }
     }
 
+    fn pool_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            pool::default_jobs()
+        } else {
+            self.jobs
+        }
+    }
+
     fn churn_params(&self, mean_life: u64, seed: u64) -> RunParams {
         RunParams {
             n_nodes: self.n_nodes,
@@ -112,7 +127,8 @@ impl FigScale {
 }
 
 /// Sweeps `points` × methods × seeds in parallel and folds each method's
-/// seed-averaged metric into a series.
+/// seed-averaged metric into a series. The full product is flattened into
+/// one job list and mapped once on the pool.
 #[allow(clippy::too_many_arguments)]
 fn sweep_figure<X, F>(
     title: &str,
@@ -128,27 +144,29 @@ where
     X: Sync + Clone + Into<f64> + Copy,
     F: Fn(&RunResult) -> f64 + Sync,
 {
+    // Jobs in (seed, method, point) lexicographic order.
+    let mut jobs: Vec<(u64, Method, X)> = Vec::new();
+    for &seed in &scale.seeds {
+        for &m in methods {
+            for &x in points {
+                jobs.push((seed, m, x));
+            }
+        }
+    }
+    let values = pool::par_map(scale.pool_jobs(), &jobs, |&(seed, m, x)| {
+        metric(&run(m, &make_params(scale, &x, m, seed)))
+    });
     let per_seed: Vec<Figure> = scale
         .seeds
-        .par_iter()
-        .map(|&seed| {
+        .iter()
+        .enumerate()
+        .map(|(si, _)| {
             let mut fig = Figure::new(title, x_label, y_label);
-            let results: Vec<Vec<f64>> = methods
-                .par_iter()
-                .map(|&m| {
-                    points
-                        .par_iter()
-                        .map(|x| {
-                            let params = make_params(scale, x, m, seed);
-                            metric(&run(m, &params))
-                        })
-                        .collect()
-                })
-                .collect();
             for (mi, &m) in methods.iter().enumerate() {
                 let mut s = Series::new(m.label());
                 for (pi, x) in points.iter().enumerate() {
-                    s.push((*x).into(), results[mi][pi]);
+                    let idx = (si * methods.len() + mi) * points.len() + pi;
+                    s.push((*x).into(), values[idx]);
                 }
                 fig.push_series(s);
             }
@@ -158,11 +176,43 @@ where
     average_figures(&per_seed)
 }
 
+/// Runs one full simulation per `(seed, method)` pair in parallel and
+/// hands each seed's results to `build` to shape the figure.
+fn per_run_figure(
+    scale: &FigScale,
+    methods: &[Method],
+    make_params: impl Fn(&FigScale, Method, u64) -> RunParams + Sync,
+    build: impl Fn(&[RunResult]) -> Figure,
+) -> Figure {
+    let mut jobs: Vec<(u64, Method)> = Vec::new();
+    for &seed in &scale.seeds {
+        for &m in methods {
+            jobs.push((seed, m));
+        }
+    }
+    let results = pool::par_map(scale.pool_jobs(), &jobs, |&(seed, m)| {
+        run(m, &make_params(scale, m, seed))
+    });
+    let per_seed: Vec<Figure> = scale
+        .seeds
+        .iter()
+        .enumerate()
+        .map(|(si, _)| build(&results[si * methods.len()..(si + 1) * methods.len()]))
+        .collect();
+    average_figures(&per_seed)
+}
+
 /// Fig. 5 — mean mesh delay vs neighbors per node; curves DCO, push, pull,
 /// tree (`d = nb/8`) and tree* (`d = nb`).
 pub fn fig5(scale: &FigScale) -> Figure {
     let points: Vec<u32> = scale.neighbor_sweep.iter().map(|&k| k as u32).collect();
-    let methods = [Method::Dco, Method::Push, Method::Pull, Method::Tree, Method::TreeStar];
+    let methods = [
+        Method::Dco,
+        Method::Push,
+        Method::Pull,
+        Method::Tree,
+        Method::TreeStar,
+    ];
     sweep_figure(
         "Fig. 5: mesh delay vs number of neighbors per node",
         "neighbors",
@@ -202,19 +252,16 @@ pub fn fig7(scale: &FigScale) -> Figure {
     let start = scale.n_chunks as u64; // generation ends here (1 chunk/s)
     let window = 10u64.min(scale.static_horizon.saturating_sub(start));
     let methods = [Method::Dco, Method::Push, Method::Pull, Method::Tree];
-    let per_seed: Vec<Figure> = scale
-        .seeds
-        .par_iter()
-        .map(|&seed| {
+    per_run_figure(
+        scale,
+        &methods,
+        |s, _m, seed| s.default_params(seed),
+        |results| {
             let mut fig = Figure::new(
                 "Fig. 7: fill ratio vs elapsed time",
                 "time (s)",
                 "global fill ratio",
             );
-            let results: Vec<RunResult> = methods
-                .par_iter()
-                .map(|&m| run(m, &scale.default_params(seed)))
-                .collect();
             for (mi, &m) in methods.iter().enumerate() {
                 let mut s = Series::new(m.label());
                 for t in start..=start + window {
@@ -229,9 +276,8 @@ pub fn fig7(scale: &FigScale) -> Figure {
                 fig.push_series(s);
             }
             fig
-        })
-        .collect();
-    average_figures(&per_seed)
+        },
+    )
 }
 
 /// Fig. 8 — total extra overhead vs neighbors per node.
@@ -272,19 +318,16 @@ pub fn fig9(scale: &FigScale) -> Figure {
 pub fn fig10(scale: &FigScale) -> Figure {
     let methods = Method::MAIN;
     let step = (scale.static_horizon / 10).max(1);
-    let per_seed: Vec<Figure> = scale
-        .seeds
-        .par_iter()
-        .map(|&seed| {
+    per_run_figure(
+        scale,
+        &methods,
+        |s, _m, seed| s.default_params(seed),
+        |results| {
             let mut fig = Figure::new(
                 "Fig. 10: extra overhead vs elapsed time",
                 "time (s)",
                 "cumulative extra overhead (messages)",
             );
-            let results: Vec<RunResult> = methods
-                .par_iter()
-                .map(|&m| run(m, &scale.default_params(seed)))
-                .collect();
             for (mi, &m) in methods.iter().enumerate() {
                 let mut s = Series::new(m.label());
                 for t in (0..=scale.static_horizon).step_by(step as usize) {
@@ -299,9 +342,8 @@ pub fn fig10(scale: &FigScale) -> Figure {
                 fig.push_series(s);
             }
             fig
-        })
-        .collect();
-    average_figures(&per_seed)
+        },
+    )
 }
 
 /// Fig. 11 — % received chunks vs dissemination-time budget under churn
@@ -313,19 +355,16 @@ pub fn fig11(scale: &FigScale) -> Figure {
     let start = scale.churn_horizon * 2 / 3;
     let step = ((scale.churn_horizon - start) / 10).max(1);
     let mean_life = scale.churn_horizon / 5; // paper: 60 s of 300 s
-    let per_seed: Vec<Figure> = scale
-        .seeds
-        .par_iter()
-        .map(|&seed| {
+    per_run_figure(
+        scale,
+        &methods,
+        |s, _m, seed| s.churn_params(mean_life, seed),
+        |results| {
             let mut fig = Figure::new(
                 "Fig. 11: % received chunks vs dissemination time (churn)",
                 "deadline (s)",
                 "% received chunks",
             );
-            let results: Vec<RunResult> = methods
-                .par_iter()
-                .map(|&m| run(m, &scale.churn_params(mean_life, seed)))
-                .collect();
             for (mi, &m) in methods.iter().enumerate() {
                 let mut s = Series::new(m.label());
                 let mut t = start;
@@ -342,9 +381,8 @@ pub fn fig11(scale: &FigScale) -> Figure {
                 fig.push_series(s);
             }
             fig
-        })
-        .collect();
-    average_figures(&per_seed)
+        },
+    )
 }
 
 /// Fig. 12 — % received chunks vs mean node life.
@@ -381,6 +419,7 @@ mod tests {
             default_neighbors: 6,
             fill_offset_secs: 5,
             seeds: vec![1],
+            jobs: 2,
         }
     }
 

@@ -5,15 +5,20 @@
 //!
 //! * [`runner`] — builds a scenario, runs one method, extracts all four
 //!   metrics from the same simulation.
-//! * [`figs`] — one generator per paper figure, rayon-parallel across sweep
+//! * [`figs`] — one generator per paper figure, parallel across sweep
 //!   points and seeds.
 //! * [`ablation`] — design-choice studies (provider selection, adaptive
 //!   window, tier mode, bandwidth model).
+//! * [`sweep`] — the parallel, deterministic batch-experiment harness:
+//!   grid expansion, a scoped-thread pool, per-cell determinism proofs,
+//!   multi-seed aggregation and JSON/table reports.
 //!
-//! The `figures` binary prints any subset as text tables and CSV:
+//! The `figures` binary prints any subset as text tables and CSV; the
+//! `dco-sweep` binary runs batch grids:
 //!
 //! ```text
 //! cargo run --release -p dco-bench --bin figures -- all --scale paper
+//! cargo run --release -p dco-bench --bin dco-sweep -- --preset small --jobs 8
 //! ```
 
 #![forbid(unsafe_code)]
@@ -22,6 +27,9 @@
 pub mod ablation;
 pub mod figs;
 pub mod runner;
+pub mod sweep;
+pub mod timing;
 
 pub use figs::FigScale;
-pub use runner::{run, Method, RunParams, RunResult};
+pub use runner::{run, run_with_stats, CellProof, Method, RunParams, RunResult, RunStats};
+pub use sweep::{run_sweep, SweepConfig, SweepReport};

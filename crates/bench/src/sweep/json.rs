@@ -1,0 +1,226 @@
+//! A minimal JSON emitter for sweep reports.
+//!
+//! The workspace carries no serde (offline reproducibility), and the sweep
+//! output is a fixed, shallow schema — so a tiny value tree with a
+//! deterministic renderer is all that is needed. Numbers render through
+//! Rust's shortest-round-trip float formatting; non-finite floats become
+//! `null` (JSON has no NaN); u64-range integers that would lose precision
+//! in an f64 (digests, counters) should be emitted as strings by the
+//! caller ([`Json::hex`] helps).
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite renders as `null`).
+    Num(f64),
+    /// An exact integer (u64 counters; rendered digit-exact).
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object builder from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A `u64` rendered as a lossless `"0x…"` string (for digests, whose
+    /// full 64-bit range exceeds f64-exact integers).
+    pub fn hex(x: u64) -> Json {
+        Json::Str(format!("{x:#018x}"))
+    }
+
+    /// Renders compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Renders with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Int(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(kvs) => {
+                out.push('{');
+                for (i, (k, v)) in kvs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(xs) if !xs.is_empty() => {
+                out.push_str("[\n");
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    x.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(kvs) if !kvs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in kvs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{:?}` is Rust's shortest round-trip form; it may produce "1.0"
+    // (valid JSON) or scientific notation like "1e-7" (also valid).
+    let _ = write!(out, "{x:?}");
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(3.0).render(), "3.0");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::Int(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::str("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\te").render(),
+            "\"a\\\"b\\\\c\\nd\\te\""
+        );
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structure_renders_compact() {
+        let v = Json::obj(vec![
+            ("name", Json::str("sweep")),
+            ("xs", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            ("meta", Json::obj(vec![("ok", Json::Bool(true))])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"sweep","xs":[1.0,2.5],"meta":{"ok":true}}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let v = Json::obj(vec![
+            ("a", Json::Int(1)),
+            ("b", Json::Arr(vec![Json::Int(2)])),
+            ("empty", Json::Arr(Vec::new())),
+        ]);
+        let p = v.render_pretty();
+        assert!(p.contains("\"a\": 1"));
+        assert!(p.contains("\"empty\": []"));
+        assert!(p.ends_with("}\n"));
+    }
+
+    #[test]
+    fn hex_preserves_full_u64_range() {
+        assert_eq!(
+            Json::hex(0xDEAD_BEEF_DEAD_BEEF).render(),
+            "\"0xdeadbeefdeadbeef\""
+        );
+        assert_eq!(Json::hex(0).render(), "\"0x0000000000000000\"");
+    }
+}

@@ -1,0 +1,124 @@
+//! A minimal scoped-thread worker pool.
+//!
+//! The sweep harness fans independent simulation cells across cores. Each
+//! cell is self-seeded (its RNG streams derive from its own master seed),
+//! so the *work* is deterministic regardless of scheduling; all the pool
+//! has to guarantee is that results come back **in input order**, which it
+//! does by tagging each result with its item index. Thread count therefore
+//! affects wall-clock only, never output — the property the determinism
+//! tests pin down.
+//!
+//! Built on `std::thread::scope` + an atomic work index: no external
+//! crates, no unsafe, work-stealing-free (cells are coarse enough that a
+//! shared counter is contention-free in practice).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` using up to `jobs` worker threads, returning
+/// results in input order. `jobs <= 1` runs inline on the caller's thread.
+/// Panics in `f` propagate to the caller.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 2, 4, 7] {
+            let out = par_map(jobs, &items, |&x| x * x);
+            let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<u32> = (0..57).collect();
+        let out = par_map(4, &items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(calls.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(8, &empty, |&x| x).is_empty());
+        assert_eq!(par_map(8, &[9u32], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn jobs_zero_behaves_like_one() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map(0, &items, |&x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..16).collect();
+        par_map(4, &items, |&x| {
+            if x == 7 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

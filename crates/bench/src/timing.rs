@@ -1,0 +1,81 @@
+//! A tiny self-contained timing harness for the `benches/` targets.
+//!
+//! The workspace carries no external bench framework (offline
+//! reproducibility), and the benches only need honest wall-clock numbers,
+//! not statistical rigor: each [`bench`] call warms up, runs a fixed
+//! number of timed iterations, and prints min / median / mean per
+//! iteration. Benches are plain `fn main()` targets (`harness = false`)
+//! run via `cargo bench -p dco-bench`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `iters` runs of `f` (after one warm-up) and prints one aligned
+/// report line. Returns the median duration in nanoseconds.
+pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> u128 {
+    black_box(f());
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+    println!(
+        "{name:<40} {:>12} {:>12} {:>12}  ({iters} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+    );
+    median
+}
+
+/// Prints the header row matching [`bench`]'s output columns.
+pub fn header(group: &str) {
+    println!("\n== {group} ==");
+    println!(
+        "{:<40} {:>12} {:>12} {:>12}",
+        "benchmark", "min", "median", "mean"
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut calls = 0u32;
+        let med = bench("noop", 5, || {
+            calls += 1;
+            calls
+        });
+        // warm-up + 5 timed iterations
+        assert_eq!(calls, 6);
+        assert!(med < 1_000_000_000);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -179,7 +179,10 @@ mod tests {
         m.insert(c(2));
         m.insert(c(4));
         assert_eq!(
-            m.missing_in(c(1), c(5)).iter().map(|s| s.0).collect::<Vec<_>>(),
+            m.missing_in(c(1), c(5))
+                .iter()
+                .map(|s| s.0)
+                .collect::<Vec<_>>(),
             vec![1, 3, 5]
         );
         assert!(m.missing_in(c(2), c(2)).is_empty());

@@ -16,7 +16,7 @@ use dco_dht::id::ChordId;
 use dco_dht::store::KeyStore;
 use dco_sim::net::Kbps;
 use dco_sim::node::NodeId;
-use rand::Rng;
+use dco_sim::rng::SimRng;
 
 use crate::chunk::ChunkSeq;
 
@@ -131,13 +131,13 @@ impl IndexTable {
     /// (e.g. the requester itself, or a provider just reported dead).
     ///
     /// `floor` is the stream rate the provider must sustain.
-    pub fn select<R: Rng + ?Sized>(
+    pub fn select(
         &mut self,
         key: ChordId,
         floor: Kbps,
         policy: SelectPolicy,
         exclude: &[NodeId],
-        rng: &mut R,
+        rng: &mut SimRng,
     ) -> Option<ChunkIndex> {
         let entries = self.store.get(key);
         let candidates: Vec<&ChunkIndex> = entries
@@ -197,8 +197,6 @@ impl IndexTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn idx(holder: u32, avail: u32) -> ChunkIndex {
         ChunkIndex {
@@ -221,7 +219,11 @@ mod tests {
         // Refresh in place.
         t.register(KEY, idx(1, 100));
         assert_eq!(t.providers(KEY).len(), 2);
-        let e = t.providers(KEY).iter().find(|e| e.holder == NodeId(1)).unwrap();
+        let e = t
+            .providers(KEY)
+            .iter()
+            .find(|e| e.holder == NodeId(1))
+            .unwrap();
         assert_eq!(e.avail, Kbps(100));
         assert_eq!(t.key_count(), 1);
         assert_eq!(t.index_count(), 2);
@@ -245,7 +247,7 @@ mod tests {
         t.register(KEY, idx(1, 600));
         t.register(KEY, idx(2, 500));
         t.register(KEY, idx(3, 100)); // below floor
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let picks: Vec<u32> = (0..4)
             .map(|_| {
                 t.select(KEY, FLOOR, SelectPolicy::SufficientBandwidth, &[], &mut rng)
@@ -262,7 +264,7 @@ mod tests {
         let mut t = IndexTable::new();
         t.register(KEY, idx(1, 50));
         t.register(KEY, idx(2, 200));
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let p = t
             .select(KEY, FLOOR, SelectPolicy::SufficientBandwidth, &[], &mut rng)
             .unwrap();
@@ -274,15 +276,27 @@ mod tests {
         let mut t = IndexTable::new();
         t.register(KEY, idx(1, 600));
         t.register(KEY, idx(2, 600));
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         for _ in 0..5 {
             let p = t
-                .select(KEY, FLOOR, SelectPolicy::SufficientBandwidth, &[NodeId(1)], &mut rng)
+                .select(
+                    KEY,
+                    FLOOR,
+                    SelectPolicy::SufficientBandwidth,
+                    &[NodeId(1)],
+                    &mut rng,
+                )
                 .unwrap();
             assert_eq!(p.holder, NodeId(2));
         }
         assert!(t
-            .select(KEY, FLOOR, SelectPolicy::SufficientBandwidth, &[NodeId(1), NodeId(2)], &mut rng)
+            .select(
+                KEY,
+                FLOOR,
+                SelectPolicy::SufficientBandwidth,
+                &[NodeId(1), NodeId(2)],
+                &mut rng
+            )
             .is_none());
     }
 
@@ -292,7 +306,7 @@ mod tests {
         for h in 1..=3 {
             t.register(KEY, idx(h, 10)); // all below floor; Random ignores
         }
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
             seen.insert(
@@ -312,9 +326,14 @@ mod tests {
         t.register(KEY, idx(2, 600));
         t.register(
             KEY,
-            ChunkIndex { seq: ChunkSeq(1), holder: NodeId(3), avail: Kbps(600), held_count: 99 },
+            ChunkIndex {
+                seq: ChunkSeq(1),
+                holder: NodeId(3),
+                avail: Kbps(600),
+                held_count: 99,
+            },
         );
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = SimRng::seed_from_u64(4);
         let p = t
             .select(KEY, FLOOR, SelectPolicy::LeastLoaded, &[], &mut rng)
             .unwrap();
@@ -324,7 +343,7 @@ mod tests {
     #[test]
     fn empty_key_selects_none() {
         let mut t = IndexTable::new();
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         assert!(t
             .select(KEY, FLOOR, SelectPolicy::SufficientBandwidth, &[], &mut rng)
             .is_none());

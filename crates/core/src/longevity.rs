@@ -83,7 +83,10 @@ mod tests {
     use super::*;
 
     fn z(buf: u32, hour: f64) -> Covariates {
-        Covariates { buffering_level: buf, join_hour: hour }
+        Covariates {
+            buffering_level: buf,
+            join_hour: hour,
+        }
     }
 
     #[test]
@@ -121,7 +124,10 @@ mod tests {
         let m = CoxModel::default();
         let early = m.longevity_probability(30.0, z(5, 0.0));
         let late = m.longevity_probability(30.0, z(5, 23.0));
-        assert!(late < early, "positive β_time: later join hour ⇒ higher hazard");
+        assert!(
+            late < early,
+            "positive β_time: later join hour ⇒ higher hazard"
+        );
     }
 
     #[test]

@@ -95,7 +95,9 @@ impl DcoProtocol {
     ) {
         let key = self.key_of(seq);
         let timeout = self.cfg.request_timeout;
-        let Some(st) = self.state_mut(node) else { return };
+        let Some(st) = self.state_mut(node) else {
+            return;
+        };
         st.lookups.insert(seq.0, ());
         ctx.set_timer(node, timeout, DcoTimer::LookupTimeout { seq });
         if st.role == Role::Client {
@@ -120,7 +122,9 @@ impl DcoProtocol {
         ctx: &mut Ctx<'_, Self>,
     ) {
         let timeout = self.cfg.request_timeout;
-        let Some(st) = self.state_mut(node) else { return };
+        let Some(st) = self.state_mut(node) else {
+            return;
+        };
         st.lookups.remove(&seq.0);
         st.coord_failures = 0;
         let Some(p) = provider else {
@@ -175,7 +179,9 @@ impl DcoProtocol {
         ctx: &mut Ctx<'_, Self>,
     ) {
         let now = ctx.now();
-        let Some(st) = self.state_mut(node) else { return };
+        let Some(st) = self.state_mut(node) else {
+            return;
+        };
         st.pending.remove(&seq.0);
         if !st.buffer.insert(seq) {
             return; // duplicate
@@ -190,7 +196,9 @@ impl DcoProtocol {
     /// on the next tick (its round-robin moves to another provider).
     pub(super) fn handle_busy(&mut self, node: NodeId, seq: ChunkSeq, ctx: &mut Ctx<'_, Self>) {
         let _ = ctx;
-        let Some(st) = self.state_mut(node) else { return };
+        let Some(st) = self.state_mut(node) else {
+            return;
+        };
         if st.pending.remove(&seq.0).is_some() {
             st.window.record_failure();
             self.fetch_failures += 1;
@@ -297,7 +305,9 @@ impl DcoProtocol {
         ctx: &mut Ctx<'_, Self>,
     ) {
         let report_dead = {
-            let Some(st) = self.state_mut(node) else { return };
+            let Some(st) = self.state_mut(node) else {
+                return;
+            };
             if st.lookups.remove(&seq.0).is_none() {
                 return; // answered in time
             }
@@ -318,7 +328,12 @@ impl DcoProtocol {
         };
         self.fetch_failures += 1;
         if let Some(dead) = report_dead {
-            ctx.send_control(node, NodeId(0), DcoMsg::CoordinatorLost { dead }, "dco.attach");
+            ctx.send_control(
+                node,
+                NodeId(0),
+                DcoMsg::CoordinatorLost { dead },
+                "dco.attach",
+            );
         }
     }
 }

@@ -27,7 +27,12 @@ impl DcoProtocol {
         }
         let c = self.coordinator_pool[self.assign_cursor % self.coordinator_pool.len()];
         self.assign_cursor = self.assign_cursor.wrapping_add(1);
-        ctx.send_control(node, from, DcoMsg::AttachAssign { coordinator: c }, "dco.attach");
+        ctx.send_control(
+            node,
+            from,
+            DcoMsg::AttachAssign { coordinator: c },
+            "dco.attach",
+        );
     }
 
     /// Client side: adopt the assigned coordinator and register with it.
@@ -37,7 +42,9 @@ impl DcoProtocol {
         coordinator: NodeId,
         ctx: &mut Ctx<'_, Self>,
     ) {
-        let Some(st) = self.state_mut(node) else { return };
+        let Some(st) = self.state_mut(node) else {
+            return;
+        };
         if st.role != Role::Client {
             return; // already promoted meanwhile
         }
@@ -69,7 +76,16 @@ impl DcoProtocol {
             return; // not a ring member (stale client pointer)
         }
         let key = self.key_of(seq);
-        self.route_lookup(node, key, seq, from, exclude, dco_dht::chord::FIND_TTL, false, ctx);
+        self.route_lookup(
+            node,
+            key,
+            seq,
+            from,
+            exclude,
+            dco_dht::chord::FIND_TTL,
+            false,
+            ctx,
+        );
     }
 
     /// Coordinator side: proxy a client's index registration.
@@ -88,7 +104,9 @@ impl DcoProtocol {
 
     /// Coordinator side: a client reported its longevity probability.
     pub(super) fn handle_stable_report(&mut self, node: NodeId, from: NodeId, longevity: f64) {
-        let Some(st) = self.state_mut(node) else { return };
+        let Some(st) = self.state_mut(node) else {
+            return;
+        };
         match st.stable_clients.iter_mut().find(|(n, _)| *n == from) {
             Some(entry) => entry.1 = longevity,
             None => st.stable_clients.push((from, longevity)),
@@ -104,15 +122,20 @@ impl DcoProtocol {
     /// * coordinators (and the server) check for overload and promote their
     ///   most stable client into the ring.
     pub(super) fn handle_tier_check(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self>) {
-        let TierMode::Hierarchical { stable_threshold, overload_lookups, check_every } =
-            self.cfg.tier
+        let TierMode::Hierarchical {
+            stable_threshold,
+            overload_lookups,
+            check_every,
+        } = self.cfg.tier
         else {
             return;
         };
         ctx.set_timer(node, check_every, DcoTimer::TierCheck);
         let now = ctx.now();
         let cox = self.cfg.cox.clone();
-        let Some(st) = self.state_mut(node) else { return };
+        let Some(st) = self.state_mut(node) else {
+            return;
+        };
         match st.role {
             Role::Client => {
                 let uptime = now.saturating_since(st.joined_at).as_secs_f64();
@@ -154,7 +177,8 @@ impl DcoProtocol {
             return;
         }
         let mut out = Outbox::new();
-        self.chord.join(Peer::new(hash_node(node), node), from, &mut out);
+        self.chord
+            .join(Peer::new(hash_node(node), node), from, &mut out);
         self.drain(out, ctx);
         ctx.set_timer(node, self.cfg.join_retry_every, DcoTimer::JoinRetry);
         ctx.set_timer(node, self.cfg.stabilize_every, DcoTimer::Stabilize);
@@ -181,7 +205,8 @@ impl DcoProtocol {
         if !self.is_server(node) {
             return;
         }
-        self.coordinator_pool.retain(|&c| c != dead || c == NodeId(0));
+        self.coordinator_pool
+            .retain(|&c| c != dead || c == NodeId(0));
         self.handle_attach_request(node, from, ctx);
     }
 }

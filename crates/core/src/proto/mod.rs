@@ -516,15 +516,26 @@ impl Protocol for DcoProtocol {
     fn on_message(&mut self, node: NodeId, from: NodeId, msg: DcoMsg, ctx: &mut Ctx<'_, Self>) {
         match msg {
             DcoMsg::Chord(m) => self.handle_chord(node, from, m, ctx),
-            DcoMsg::Insert { key, index, ttl, fin } => {
-                self.route_insert(node, key, index, ttl, fin, ctx)
-            }
-            DcoMsg::Deregister { key, holder, ttl, fin } => {
-                self.route_deregister(node, key, holder, ttl, fin, ctx)
-            }
-            DcoMsg::Lookup { key, seq, origin, exclude, ttl, fin } => {
-                self.route_lookup(node, key, seq, origin, exclude, ttl, fin, ctx)
-            }
+            DcoMsg::Insert {
+                key,
+                index,
+                ttl,
+                fin,
+            } => self.route_insert(node, key, index, ttl, fin, ctx),
+            DcoMsg::Deregister {
+                key,
+                holder,
+                ttl,
+                fin,
+            } => self.route_deregister(node, key, holder, ttl, fin, ctx),
+            DcoMsg::Lookup {
+                key,
+                seq,
+                origin,
+                exclude,
+                ttl,
+                fin,
+            } => self.route_lookup(node, key, seq, origin, exclude, ttl, fin, ctx),
             DcoMsg::Provider { seq, provider } => self.handle_provider(node, seq, provider, ctx),
             DcoMsg::ChunkRequest { seq } => self.handle_chunk_request(node, from, seq, ctx),
             DcoMsg::ChunkData { seq } => self.handle_chunk_data(node, from, seq, ctx),
@@ -544,9 +555,7 @@ impl Protocol for DcoProtocol {
                 self.handle_client_lookup(node, from, seq, exclude, ctx)
             }
             DcoMsg::ClientInsert { index } => self.handle_client_insert(node, index, ctx),
-            DcoMsg::StableReport { longevity } => {
-                self.handle_stable_report(node, from, longevity)
-            }
+            DcoMsg::StableReport { longevity } => self.handle_stable_report(node, from, longevity),
             DcoMsg::Promote => self.handle_promote(node, from, ctx),
             DcoMsg::CoordinatorAnnounce => self.handle_coordinator_announce(node, from),
             DcoMsg::CoordinatorLost { dead } => self.handle_coordinator_lost(node, from, dead, ctx),

@@ -37,8 +37,14 @@ impl DcoProtocol {
             }
         };
         let down = ctx.download_rate(node);
-        self.nodes[node.index()] =
-            Some(NodeState::new(role, &self.cfg, down, now, first_seq, session_seq));
+        self.nodes[node.index()] = Some(NodeState::new(
+            role,
+            &self.cfg,
+            down,
+            now,
+            first_seq,
+            session_seq,
+        ));
 
         if self.is_server(node) {
             if !self.cfg.static_ring {
@@ -62,7 +68,8 @@ impl DcoProtocol {
             TierMode::Flat => {
                 if !self.cfg.static_ring {
                     let mut out = Outbox::new();
-                    self.chord.join(Peer::new(hash_node(node), node), NodeId(0), &mut out);
+                    self.chord
+                        .join(Peer::new(hash_node(node), node), NodeId(0), &mut out);
                     self.drain(out, ctx);
                     ctx.set_timer(node, self.cfg.join_retry_every, DcoTimer::JoinRetry);
                     self.arm_ring_timers(node, ctx);
@@ -101,7 +108,12 @@ impl DcoProtocol {
                     ctx.send_control(
                         node,
                         c,
-                        DcoMsg::Deregister { key, holder: node, ttl: FIND_TTL, fin: false },
+                        DcoMsg::Deregister {
+                            key,
+                            holder: node,
+                            ttl: FIND_TTL,
+                            fin: false,
+                        },
                         "dco.dereg",
                     );
                 }
@@ -179,7 +191,12 @@ impl DcoProtocol {
                             st.role = Role::Coordinator;
                             st.coordinator = None;
                         }
-                        ctx.send_control(node, NodeId(0), DcoMsg::CoordinatorAnnounce, "dco.promote");
+                        ctx.send_control(
+                            node,
+                            NodeId(0),
+                            DcoMsg::CoordinatorAnnounce,
+                            "dco.promote",
+                        );
                     }
                 }
                 ChordEvent::PredChanged { node, new_pred } => {
@@ -319,7 +336,12 @@ impl DcoProtocol {
                 ctx.send_control(
                     at,
                     p.node,
-                    DcoMsg::Insert { key, index, ttl: 0, fin: true },
+                    DcoMsg::Insert {
+                        key,
+                        index,
+                        ttl: 0,
+                        fin: true,
+                    },
                     "dco.insert",
                 );
             }
@@ -328,7 +350,12 @@ impl DcoProtocol {
                     ctx.send_control(
                         at,
                         p.node,
-                        DcoMsg::Insert { key, index, ttl: ttl - 1, fin: false },
+                        DcoMsg::Insert {
+                            key,
+                            index,
+                            ttl: ttl - 1,
+                            fin: false,
+                        },
                         "dco.insert",
                     );
                 }
@@ -367,7 +394,12 @@ impl DcoProtocol {
                 ctx.send_control(
                     at,
                     p.node,
-                    DcoMsg::Deregister { key, holder, ttl: 0, fin: true },
+                    DcoMsg::Deregister {
+                        key,
+                        holder,
+                        ttl: 0,
+                        fin: true,
+                    },
                     "dco.dereg",
                 );
             }
@@ -376,7 +408,12 @@ impl DcoProtocol {
                     ctx.send_control(
                         at,
                         p.node,
-                        DcoMsg::Deregister { key, holder, ttl: ttl - 1, fin: false },
+                        DcoMsg::Deregister {
+                            key,
+                            holder,
+                            ttl: ttl - 1,
+                            fin: false,
+                        },
                         "dco.dereg",
                     );
                 }
@@ -408,7 +445,14 @@ impl DcoProtocol {
                 ctx.send_control(
                     at,
                     p.node,
-                    DcoMsg::Lookup { key, seq, origin, exclude, ttl: 0, fin: true },
+                    DcoMsg::Lookup {
+                        key,
+                        seq,
+                        origin,
+                        exclude,
+                        ttl: 0,
+                        fin: true,
+                    },
                     "dco.lookup",
                 );
             }
@@ -417,7 +461,14 @@ impl DcoProtocol {
                     ctx.send_control(
                         at,
                         p.node,
-                        DcoMsg::Lookup { key, seq, origin, exclude, ttl: ttl - 1, fin: false },
+                        DcoMsg::Lookup {
+                            key,
+                            seq,
+                            origin,
+                            exclude,
+                            ttl: ttl - 1,
+                            fin: false,
+                        },
                         "dco.lookup",
                     );
                 }
@@ -467,7 +518,12 @@ impl DcoProtocol {
             // The coordinator asked about a chunk it owns itself.
             self.handle_provider(at, seq, provider, ctx);
         } else {
-            ctx.send_control(at, origin, DcoMsg::Provider { seq, provider }, "dco.provider");
+            ctx.send_control(
+                at,
+                origin,
+                DcoMsg::Provider { seq, provider },
+                "dco.provider",
+            );
         }
     }
 }

@@ -120,13 +120,19 @@ fn graceful_leave_deregisters_indices() {
             let key = p.namer().id_of(ChunkSeq(seq));
             if let Some(st) = p.nodes[node as usize].as_ref() {
                 assert!(
-                    !st.index.providers(key).iter().any(|e| e.holder == NodeId(4)),
+                    !st.index
+                        .providers(key)
+                        .iter()
+                        .any(|e| e.holder == NodeId(4)),
                     "N{node} still advertises N4 for chunk {seq}"
                 );
             }
         }
     }
-    assert!(sim.counters().tagged("dco.dereg") > 0, "deregistrations sent");
+    assert!(
+        sim.counters().tagged("dco.dereg") > 0,
+        "deregistrations sent"
+    );
     sim.run_until(SimTime::from_secs(60));
     // Every surviving audience member completes (the leaver's own
     // expected-but-unreceived pairs are the only legitimate misses).
@@ -154,7 +160,10 @@ fn churn_mode_sustains_high_delivery() {
         sim.schedule_join(NodeId(i), SimTime::from_secs(t + 10));
     }
     sim.run_until(SimTime::from_secs(120));
-    let pct = sim.protocol().obs.received_percentage(SimTime::from_secs(120));
+    let pct = sim
+        .protocol()
+        .obs
+        .received_percentage(SimTime::from_secs(120));
     assert!(pct > 85.0, "received only {pct:.1}% under churn");
 }
 
@@ -186,7 +195,10 @@ fn hierarchical_clients_attach_and_stream() {
         assert_eq!(p.role_of(NodeId(i)), Some(Role::Client));
     }
     let pct = p.obs.received_percentage(SimTime::from_secs(80));
-    assert!(pct > 99.0, "clients streamed through the coordinator: {pct:.1}%");
+    assert!(
+        pct > 99.0,
+        "clients streamed through the coordinator: {pct:.1}%"
+    );
 }
 
 #[test]
@@ -222,10 +234,12 @@ fn adaptive_window_reacts_to_failures() {
     sim.schedule_leave(NodeId(3), SimTime::from_secs(6), false);
     sim.run_until(SimTime::from_secs(90));
     let p = sim.protocol();
-    assert!(p.fetch_failures > 0, "the kill must cause at least one timeout");
+    assert!(
+        p.fetch_failures > 0,
+        "the kill must cause at least one timeout"
+    );
     assert!(p.obs.received_percentage(SimTime::from_secs(90)) > 95.0);
 }
-
 
 #[test]
 fn hierarchical_coordinator_failure_reattaches_clients() {
@@ -248,7 +262,10 @@ fn hierarchical_coordinator_failure_reattaches_clients() {
             .filter(|&n| p.role_of(n) == Some(Role::Coordinator))
             .collect()
     };
-    assert!(!promoted.is_empty(), "someone must have been promoted by t=30");
+    assert!(
+        !promoted.is_empty(),
+        "someone must have been promoted by t=30"
+    );
     let victim = promoted[0];
     sim.schedule_leave(victim, SimTime::from_secs(31), false);
     sim.run_until(SimTime::from_secs(140));
@@ -269,7 +286,10 @@ fn hierarchical_coordinator_failure_reattaches_clients() {
     }
     // The stream still flowed for the survivors.
     let pct = p.obs.received_percentage(SimTime::from_secs(140));
-    assert!(pct > 90.0, "delivery collapsed after coordinator failure: {pct:.1}%");
+    assert!(
+        pct > 90.0,
+        "delivery collapsed after coordinator failure: {pct:.1}%"
+    );
 }
 
 #[test]
@@ -285,7 +305,10 @@ fn session_anchoring_prioritizes_the_live_edge() {
     // Live chunks after the rejoin arrived within a tight bound…
     for seq in 25..35u32 {
         let gen = p.obs.generated_at(seq).unwrap();
-        let got = p.obs.received_at(seq, NodeId(6)).expect("live chunk fetched");
+        let got = p
+            .obs
+            .received_at(seq, NodeId(6))
+            .expect("live chunk fetched");
         assert!(
             got.saturating_since(gen) < SimDuration::from_secs(30),
             "chunk {seq} took {:?}",

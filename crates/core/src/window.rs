@@ -138,7 +138,10 @@ mod tests {
             w.record_success();
         }
         assert!(w.failure_rate() < 0.01);
-        assert!(w.size_chunks() <= before + 1, "residual ε only adds ≤1 chunk");
+        assert!(
+            w.size_chunks() <= before + 1,
+            "residual ε only adds ≤1 chunk"
+        );
     }
 
     #[test]

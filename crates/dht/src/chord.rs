@@ -510,7 +510,11 @@ impl ChordNet {
     /// Graceful leave: notifies the predecessor and successor and drops the
     /// state. Returns the final `(predecessor, successor)` so the host can
     /// transfer application keys to the successor.
-    pub fn leave(&mut self, node: NodeId, out: &mut Outbox) -> Option<(Option<Peer>, Option<Peer>)> {
+    pub fn leave(
+        &mut self,
+        node: NodeId,
+        out: &mut Outbox,
+    ) -> Option<(Option<Peer>, Option<Peer>)> {
         let st = self.nodes.get_mut(node.index())?.take()?;
         let me = st.me;
         let pred = st.pred;
@@ -519,7 +523,10 @@ impl ChordNet {
             out.send(
                 node,
                 p.node,
-                ChordMsg::LeaveToPred { leaving: me, new_succ: succ },
+                ChordMsg::LeaveToPred {
+                    leaving: me,
+                    new_succ: succ,
+                },
                 "chord.leave",
             );
         }
@@ -527,7 +534,10 @@ impl ChordNet {
             out.send(
                 node,
                 s.node,
-                ChordMsg::LeaveToSucc { leaving: me, new_pred: pred },
+                ChordMsg::LeaveToSucc {
+                    leaving: me,
+                    new_pred: pred,
+                },
                 "chord.leave",
             );
         }
@@ -550,10 +560,15 @@ impl ChordNet {
     pub fn handle(&mut self, node: NodeId, from: NodeId, msg: ChordMsg, out: &mut Outbox) {
         match self.state_mut(node) {
             Some(st) => st.unsuspect(from), // direct contact proves liveness
-            None => return, // state already dropped (left/failed)
+            None => return,                 // state already dropped (left/failed)
         }
         match msg {
-            ChordMsg::FindSucc { key, origin, token, ttl } => {
+            ChordMsg::FindSucc {
+                key,
+                origin,
+                token,
+                ttl,
+            } => {
                 self.handle_find(node, key, origin, token, ttl, out);
             }
             ChordMsg::FoundSucc { key, succ, token } => {
@@ -618,7 +633,12 @@ impl ChordNet {
         st.learn(origin);
         let me = st.me;
         let answer = |out: &mut Outbox, succ: Peer| {
-            out.send(node, origin.node, ChordMsg::FoundSucc { key, succ, token }, "chord.found");
+            out.send(
+                node,
+                origin.node,
+                ChordMsg::FoundSucc { key, succ, token },
+                "chord.found",
+            );
         };
         // The origin must never be its own answer or a forwarding hop —
         // when a joiner resolves its own ID the result has to be its future
@@ -653,7 +673,12 @@ impl ChordNet {
         out.send(
             node,
             hop.node,
-            ChordMsg::FindSucc { key, origin, token, ttl: ttl - 1 },
+            ChordMsg::FindSucc {
+                key,
+                origin,
+                token,
+                ttl: ttl - 1,
+            },
             "chord.find",
         );
     }
@@ -785,7 +810,10 @@ impl ChordNet {
         if adopt {
             st.pred = Some(peer);
             st.pred_ttl = pred_ttl;
-            out.events.push(ChordEvent::PredChanged { node, new_pred: peer });
+            out.events.push(ChordEvent::PredChanged {
+                node,
+                new_pred: peer,
+            });
         }
     }
 
@@ -800,7 +828,9 @@ impl ChordNet {
     /// predecessor expiry.
     pub fn tick_stabilize(&mut self, node: NodeId, out: &mut Outbox) {
         let threshold = self.cfg.suspicion_misses.max(1);
-        let Some(st) = self.state_mut(node) else { return };
+        let Some(st) = self.state_mut(node) else {
+            return;
+        };
         st.tick += 1;
         // Death gossip expires after 10 ticks (the ring has flushed by
         // then; unbounded gossip would keep rejoined nodes banned).
@@ -817,7 +847,10 @@ impl ChordNet {
             if *misses >= threshold && st.succs.contains_node(suspect) {
                 st.probe_misses.remove(&suspect.0);
                 st.forget(suspect);
-                out.events.push(ChordEvent::SuccessorDeclaredDead { node, dead: suspect });
+                out.events.push(ChordEvent::SuccessorDeclaredDead {
+                    node,
+                    dead: suspect,
+                });
             }
         };
         if let Some(suspect) = st.stab_pending_to.take() {
@@ -854,7 +887,12 @@ impl ChordNet {
             let target = deep[start];
             st.last_deep_probe = Some(target.node);
             st.probe_pending = Some(target.node);
-            out.send(node, target.node, ChordMsg::GetPred { from: me }, "chord.stab");
+            out.send(
+                node,
+                target.node,
+                ChordMsg::GetPred { from: me },
+                "chord.stab",
+            );
         }
     }
 
@@ -864,7 +902,9 @@ impl ChordNet {
     /// table so the next attempt routes around it.
     pub fn tick_fix_fingers(&mut self, node: NodeId, out: &mut Outbox) {
         let per = self.cfg.fingers_per_tick;
-        let Some(st) = self.state_mut(node) else { return };
+        let Some(st) = self.state_mut(node) else {
+            return;
+        };
         if st.succs.is_empty() {
             return; // singleton or not joined: nothing to fix
         }
@@ -966,11 +1006,7 @@ impl ChordNet {
     /// finger tables. This matches the paper's no-churn setting where "all
     /// nodes form a DHT" before streaming starts.
     pub fn build_static(peers: &[Peer], cfg: ChordConfig) -> Self {
-        let cap = peers
-            .iter()
-            .map(|p| p.node.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let cap = peers.iter().map(|p| p.node.index() + 1).max().unwrap_or(0);
         let mut net = ChordNet::new(cap, cfg);
         let oracle = OracleRing::from_members(peers.iter().copied());
         for &p in peers {
@@ -1089,9 +1125,12 @@ mod tests {
         let done: Vec<_> = events
             .iter()
             .filter_map(|e| match e {
-                ChordEvent::AppLookupDone { node, key: k, owner, cookie } => {
-                    Some((*node, *k, *owner, *cookie))
-                }
+                ChordEvent::AppLookupDone {
+                    node,
+                    key: k,
+                    owner,
+                    cookie,
+                } => Some((*node, *k, *owner, *cookie)),
                 _ => None,
             })
             .collect();
@@ -1113,7 +1152,9 @@ mod tests {
             net.join(peer_of(i), NodeId(0), &mut out);
             let (events, _) = pump(&mut net, &mut out);
             assert!(
-                events.iter().any(|e| matches!(e, ChordEvent::JoinComplete { node } if *node == NodeId(i))),
+                events
+                    .iter()
+                    .any(|e| matches!(e, ChordEvent::JoinComplete { node } if *node == NodeId(i))),
                 "join {i} did not complete"
             );
             members.push(NodeId(i));
@@ -1175,10 +1216,7 @@ mod tests {
         let succ = oracle.successor(victim_id).unwrap();
 
         net.fail(victim);
-        let alive: Vec<NodeId> = (0..10)
-            .map(NodeId)
-            .filter(|&n| n != victim)
-            .collect();
+        let alive: Vec<NodeId> = (0..10).map(NodeId).filter(|&n| n != victim).collect();
         converge(&mut net, &alive, 6);
 
         let st = net.state(pred.node).unwrap();
@@ -1195,7 +1233,10 @@ mod tests {
         for &n in &alive {
             let st = net.state(n).unwrap();
             assert!(
-                st.fingers().distinct_peers().iter().all(|p| p.node != victim),
+                st.fingers()
+                    .distinct_peers()
+                    .iter()
+                    .all(|p| p.node != victim),
                 "{n} still fingers the dead node"
             );
         }
@@ -1315,7 +1356,6 @@ mod tests {
     }
 }
 
-
 #[cfg(test)]
 mod robustness_tests {
     use super::*;
@@ -1400,10 +1440,7 @@ mod robustness_tests {
         // Tick ALL survivors past the TTL (gossip refreshes tombstones only
         // while some replier still carries the death in its recent list, and
         // that list is pruned on the replier's own ticks).
-        let alive: Vec<NodeId> = (0..4u32)
-            .map(NodeId)
-            .filter(|&n| n != succ.node)
-            .collect();
+        let alive: Vec<NodeId> = (0..4u32).map(NodeId).filter(|&n| n != succ.node).collect();
         for _ in 0..(2 * SUSPECT_TTL_TICKS) {
             for &n in &alive {
                 net.tick_stabilize(n, &mut out);
@@ -1428,7 +1465,11 @@ mod robustness_tests {
         let c = oracle.successor(b.id).unwrap();
         net.fail(c.node);
         let mut out = Outbox::new();
-        let all: Vec<NodeId> = peers.iter().map(|p| p.node).filter(|&n| n != c.node).collect();
+        let all: Vec<NodeId> = peers
+            .iter()
+            .map(|p| p.node)
+            .filter(|&n| n != c.node)
+            .collect();
         for _ in 0..6 {
             for &n in &all {
                 net.tick_stabilize(n, &mut out);

@@ -104,7 +104,10 @@ mod tests {
         use std::collections::HashSet;
         let mut seen = HashSet::new();
         for i in 0..10_000u32 {
-            assert!(seen.insert(hash_node(NodeId(i))), "node hash collision at {i}");
+            assert!(
+                seen.insert(hash_node(NodeId(i))),
+                "node hash collision at {i}"
+            );
         }
         let mut seen = HashSet::new();
         for i in 0..10_000 {

@@ -175,7 +175,10 @@ mod tests {
     fn closed_open_interval() {
         assert!(ChordId(100).in_closed_open(A, B), "left endpoint included");
         assert!(ChordId(150).in_closed_open(A, B));
-        assert!(!ChordId(200).in_closed_open(A, B), "right endpoint excluded");
+        assert!(
+            !ChordId(200).in_closed_open(A, B),
+            "right endpoint excluded"
+        );
         assert!(ChordId(0).in_closed_open(B, A));
         assert!(ChordId(42).in_closed_open(A, A), "degenerate = whole ring");
     }

@@ -193,7 +193,12 @@ impl ChordKv {
                             ctx.send_control(
                                 node,
                                 new_pred.node,
-                                KvMsg::Put { key, value, ttl: 8, fin: true },
+                                KvMsg::Put {
+                                    key,
+                                    value,
+                                    ttl: 8,
+                                    fin: true,
+                                },
                                 "kv.handover",
                             );
                         }
@@ -225,7 +230,12 @@ impl ChordKv {
                 ctx.send_control(
                     at,
                     p.node,
-                    KvMsg::Put { key, value, ttl: 0, fin: true },
+                    KvMsg::Put {
+                        key,
+                        value,
+                        ttl: 0,
+                        fin: true,
+                    },
                     "kv.put",
                 );
             }
@@ -234,7 +244,12 @@ impl ChordKv {
                     ctx.send_control(
                         at,
                         p.node,
-                        KvMsg::Put { key, value, ttl: ttl - 1, fin: false },
+                        KvMsg::Put {
+                            key,
+                            value,
+                            ttl: ttl - 1,
+                            fin: false,
+                        },
                         "kv.put",
                     );
                 }
@@ -272,7 +287,11 @@ impl ChordKv {
                 ctx.send_control(
                     at,
                     origin,
-                    KvMsg::GetReply { key, values, cookie },
+                    KvMsg::GetReply {
+                        key,
+                        values,
+                        cookie,
+                    },
                     "kv.reply",
                 );
             }
@@ -283,7 +302,13 @@ impl ChordKv {
                 ctx.send_control(
                     at,
                     p.node,
-                    KvMsg::Get { key, origin, cookie, ttl: 0, fin: true },
+                    KvMsg::Get {
+                        key,
+                        origin,
+                        cookie,
+                        ttl: 0,
+                        fin: true,
+                    },
                     "kv.get",
                 );
             }
@@ -292,7 +317,13 @@ impl ChordKv {
                     ctx.send_control(
                         at,
                         p.node,
-                        KvMsg::Get { key, origin, cookie, ttl: ttl - 1, fin: false },
+                        KvMsg::Get {
+                            key,
+                            origin,
+                            cookie,
+                            ttl: ttl - 1,
+                            fin: false,
+                        },
                         "kv.get",
                     );
                 }
@@ -333,13 +364,24 @@ impl Protocol for ChordKv {
                 self.chord.handle(node, from, m, &mut out);
                 self.drain(out, ctx);
             }
-            KvMsg::Put { key, value, ttl, fin } => {
-                self.route_put(node, key, value, ttl, fin, ctx)
-            }
-            KvMsg::Get { key, origin, cookie, ttl, fin } => {
-                self.route_get(node, key, origin, cookie, ttl, fin, ctx)
-            }
-            KvMsg::GetReply { key, values, cookie } => {
+            KvMsg::Put {
+                key,
+                value,
+                ttl,
+                fin,
+            } => self.route_put(node, key, value, ttl, fin, ctx),
+            KvMsg::Get {
+                key,
+                origin,
+                cookie,
+                ttl,
+                fin,
+            } => self.route_get(node, key, origin, cookie, ttl, fin, ctx),
+            KvMsg::GetReply {
+                key,
+                values,
+                cookie,
+            } => {
                 self.results.push(GetResult {
                     node,
                     key,
@@ -389,7 +431,12 @@ impl Protocol for ChordKv {
                             ctx.send_control(
                                 node,
                                 succ.node,
-                                KvMsg::Put { key, value, ttl: 8, fin: true },
+                                KvMsg::Put {
+                                    key,
+                                    value,
+                                    ttl: 8,
+                                    fin: true,
+                                },
                                 "kv.handover",
                             );
                         }
@@ -409,7 +456,11 @@ mod tests {
     use super::*;
 
     fn build(n: u32, seed: u64) -> Simulator<ChordKv> {
-        let mut sim = Simulator::new(ChordKv::new(KvConfig::default()), NetConfig::default(), seed);
+        let mut sim = Simulator::new(
+            ChordKv::new(KvConfig::default()),
+            NetConfig::default(),
+            seed,
+        );
         for i in 0..n {
             let id = sim.add_node(NodeCaps::peer_default());
             // Stagger joins a little so the ring forms incrementally.
@@ -433,7 +484,16 @@ mod tests {
         let key = hash_name("movie-chunk-42");
         let owner = sim.protocol().chord.oracle().owner(key).unwrap();
 
-        inject(&mut sim, NodeId(3), KvMsg::Put { key, value: 4242, ttl: 64, fin: false });
+        inject(
+            &mut sim,
+            NodeId(3),
+            KvMsg::Put {
+                key,
+                value: 4242,
+                ttl: 64,
+                fin: false,
+            },
+        );
         sim.run_until(sim.now() + SimDuration::from_secs(5));
         assert_eq!(
             sim.protocol().stores.get(&owner.node.0).map(|s| s.get(key)),
@@ -444,7 +504,13 @@ mod tests {
         inject(
             &mut sim,
             NodeId(9),
-            KvMsg::Get { key, origin: NodeId(9), cookie: 5, ttl: 64, fin: false },
+            KvMsg::Get {
+                key,
+                origin: NodeId(9),
+                cookie: 5,
+                ttl: 64,
+                fin: false,
+            },
         );
         sim.run_until(sim.now() + SimDuration::from_secs(5));
         let r = sim
@@ -470,7 +536,16 @@ mod tests {
 
         // The live ring should still resolve lookups to the oracle owner.
         let key = hash_name("post-churn-key");
-        inject(&mut sim, NodeId(0), KvMsg::Put { key, value: 7, ttl: 64, fin: false });
+        inject(
+            &mut sim,
+            NodeId(0),
+            KvMsg::Put {
+                key,
+                value: 7,
+                ttl: 64,
+                fin: false,
+            },
+        );
         sim.run_until(sim.now() + SimDuration::from_secs(5));
         let owner = sim.protocol().chord.oracle().owner(key).unwrap();
         assert_eq!(
@@ -507,7 +582,12 @@ mod handover_tests {
                 sim.now(),
                 NodeId(1),
                 NodeId(1),
-                KvMsg::Put { key, value: k, ttl: 64, fin: false },
+                KvMsg::Put {
+                    key,
+                    value: k,
+                    ttl: 64,
+                    fin: false,
+                },
             );
         }
         sim.run_until(SimTime::from_secs(18));
@@ -521,7 +601,8 @@ mod handover_tests {
             let key = hash_name(&format!("item-{k}"));
             let owner = oracle.owner(key).unwrap();
             assert_eq!(
-                sim.protocol().local_values(owner.node, &format!("item-{k}")),
+                sim.protocol()
+                    .local_values(owner.node, &format!("item-{k}")),
                 &[k],
                 "item-{k} not at its owner {owner:?}"
             );

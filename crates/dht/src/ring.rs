@@ -160,7 +160,10 @@ mod tests {
     fn successors_list() {
         let r = ring();
         let s = r.successors(ChordId(10), 2);
-        assert_eq!(s.iter().map(|p| p.id.0).collect::<Vec<_>>(), vec![100, 1000]);
+        assert_eq!(
+            s.iter().map(|p| p.id.0).collect::<Vec<_>>(),
+            vec![100, 1000]
+        );
         // Asking for more than the ring holds stops before self.
         let s = r.successors(ChordId(10), 10);
         assert_eq!(s.len(), 2, "never includes the queried id");
@@ -189,7 +192,11 @@ mod tests {
         assert_eq!(r.successor(ChordId(5)), None);
         r.insert(peer(42, 7));
         assert_eq!(r.owner(ChordId(5)).unwrap().node, NodeId(7));
-        assert_eq!(r.successor(ChordId(42)).unwrap().id, ChordId(42), "self-loop");
+        assert_eq!(
+            r.successor(ChordId(42)).unwrap().id,
+            ChordId(42),
+            "self-loop"
+        );
         assert_eq!(r.predecessor(ChordId(42)).unwrap().id, ChordId(42));
         assert!(r.successors(ChordId(42), 3).is_empty());
     }

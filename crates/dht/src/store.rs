@@ -20,7 +20,9 @@ pub struct KeyStore<V> {
 
 impl<V> Default for KeyStore<V> {
     fn default() -> Self {
-        KeyStore { map: BTreeMap::new() }
+        KeyStore {
+            map: BTreeMap::new(),
+        }
     }
 }
 

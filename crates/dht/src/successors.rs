@@ -75,9 +75,7 @@ impl SuccessorList {
             return false;
         }
         let d = self.me.distance_to(p.id);
-        let pos = self
-            .list
-            .partition_point(|q| self.me.distance_to(q.id) < d);
+        let pos = self.list.partition_point(|q| self.me.distance_to(q.id) < d);
         if pos >= self.cap {
             return false;
         }

@@ -2,15 +2,17 @@
 //!
 //! The message-driven state machine is checked against the omniscient
 //! [`OracleRing`] under arbitrary ID populations, key sets and churn
-//! schedules.
+//! schedules. Driven by the in-tree `dco-testkit` (deterministic seeds,
+//! `DCO_TESTKIT_REPLAY` to reproduce a failure).
+
+use std::collections::BTreeSet;
 
 use dco_dht::chord::{ChordConfig, ChordNet, Outbox, RouteDecision};
 use dco_dht::id::{ChordId, Peer};
 use dco_dht::ring::OracleRing;
 use dco_dht::store::KeyStore;
 use dco_sim::node::NodeId;
-use proptest::collection::{btree_set, vec};
-use proptest::prelude::*;
+use dco_testkit::{check, tk_assert, tk_assert_eq, Gen};
 
 /// Delivers all outstanding sends synchronously until quiescence.
 fn pump(net: &mut ChordNet, out: &mut Outbox) {
@@ -56,64 +58,79 @@ fn route(net: &ChordNet, start: NodeId, key: ChordId) -> Option<(NodeId, usize)>
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// `lo..hi` distinct raw u64 ids, as ring peers.
+fn gen_peers(g: &mut Gen, lo: usize, hi: usize) -> Vec<Peer> {
+    let mut ids = BTreeSet::new();
+    let want = g.usize_in(lo, hi);
+    while ids.len() < want {
+        ids.insert(g.any_u64());
+    }
+    ids.iter()
+        .enumerate()
+        .map(|(i, &id)| Peer::new(ChordId(id), NodeId(i as u32)))
+        .collect()
+}
 
-    /// Interval-membership algebra: for distinct a, b, every x on the ring
-    /// is in exactly one of (a, b] and (b, a].
-    #[test]
-    fn half_open_intervals_partition_the_ring(a: u64, b: u64, x: u64) {
-        prop_assume!(a != b);
+/// Interval-membership algebra: for distinct a, b, every x on the ring
+/// is in exactly one of (a, b] and (b, a].
+#[test]
+fn half_open_intervals_partition_the_ring() {
+    check("half_open_intervals_partition_the_ring", 256, |g| {
+        let (a, b, x) = (g.any_u64(), g.any_u64(), g.any_u64());
+        if a == b {
+            return Ok(());
+        }
         let (a, b, x) = (ChordId(a), ChordId(b), ChordId(x));
         let in_ab = x.in_open_closed(a, b);
         let in_ba = x.in_open_closed(b, a);
-        prop_assert!(in_ab ^ in_ba, "x must be in exactly one half: {in_ab} {in_ba}");
-    }
+        tk_assert!(
+            in_ab ^ in_ba,
+            "x must be in exactly one half: {in_ab} {in_ba}"
+        );
+        Ok(())
+    });
+}
 
-    /// distance(a, b) + distance(b, a) wraps to 0 for a != b.
-    #[test]
-    fn distances_are_complementary(a: u64, b: u64) {
-        let (a, b) = (ChordId(a), ChordId(b));
+/// distance(a, b) + distance(b, a) wraps to 0 for a != b.
+#[test]
+fn distances_are_complementary() {
+    check("distances_are_complementary", 256, |g| {
+        let (a, b) = (ChordId(g.any_u64()), ChordId(g.any_u64()));
         let sum = a.distance_to(b).wrapping_add(b.distance_to(a));
-        prop_assert_eq!(sum, 0u64);
-    }
+        tk_assert_eq!(sum, 0u64);
+        Ok(())
+    });
+}
 
-    /// On a statically built ring, greedy routing from any member delivers
-    /// every key to the oracle owner within O(log n) hops.
-    #[test]
-    fn static_ring_routes_every_key_to_oracle_owner(
-        ids in btree_set(any::<u64>(), 2..40),
-        keys in vec(any::<u64>(), 1..20),
-        start_idx in any::<prop::sample::Index>(),
-    ) {
-        let peers: Vec<Peer> = ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| Peer::new(ChordId(id), NodeId(i as u32)))
-            .collect();
+/// On a statically built ring, greedy routing from any member delivers
+/// every key to the oracle owner within O(log n) hops.
+#[test]
+fn static_ring_routes_every_key_to_oracle_owner() {
+    check("static_ring_routes_every_key_to_oracle_owner", 64, |g| {
+        let peers = gen_peers(g, 2, 40);
+        let keys: Vec<u64> = g.vec_of(1, 20, |g| g.any_u64());
         let net = ChordNet::build_static(&peers, ChordConfig::default());
         let oracle = OracleRing::from_members(peers.iter().copied());
-        let start = peers[start_idx.index(peers.len())].node;
+        let start = peers[g.usize_in(0, peers.len())].node;
         let n = peers.len() as f64;
         let hop_budget = (2.0 * n.log2().ceil() + 4.0) as usize;
         for k in keys {
             let key = ChordId(k);
             let want = oracle.owner(key).unwrap().node;
             let (got, hops) = route(&net, start, key).expect("no loop");
-            prop_assert_eq!(got, want, "key {:?}", key);
-            prop_assert!(hops <= hop_budget, "{} hops > budget {}", hops, hop_budget);
+            tk_assert_eq!(got, want, "key {key:?}");
+            tk_assert!(hops <= hop_budget, "{hops} hops > budget {hop_budget}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Sequential joins through a single bootstrap converge to the oracle
-    /// ring (successor and predecessor pointers all correct).
-    #[test]
-    fn dynamic_joins_converge_to_oracle(ids in btree_set(any::<u64>(), 2..16)) {
-        let peers: Vec<Peer> = ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| Peer::new(ChordId(id), NodeId(i as u32)))
-            .collect();
+/// Sequential joins through a single bootstrap converge to the oracle
+/// ring (successor and predecessor pointers all correct).
+#[test]
+fn dynamic_joins_converge_to_oracle() {
+    check("dynamic_joins_converge_to_oracle", 48, |g| {
+        let peers = gen_peers(g, 2, 16);
         let mut net = ChordNet::new(peers.len(), ChordConfig::default());
         let mut out = Outbox::new();
         net.bootstrap(peers[0]);
@@ -128,36 +145,32 @@ proptest! {
         let oracle = OracleRing::from_members(peers.iter().copied());
         for &p in &peers {
             let st = net.state(p.node).unwrap();
-            prop_assert!(st.is_joined());
-            prop_assert_eq!(
+            tk_assert!(st.is_joined());
+            tk_assert_eq!(
                 st.successor().map(|q| q.node),
                 oracle.successor(p.id).map(|q| q.node),
-                "successor of {:?}", p
+                "successor of {p:?}"
             );
-            prop_assert_eq!(
+            tk_assert_eq!(
                 st.predecessor().map(|q| q.node),
                 oracle.predecessor(p.id).map(|q| q.node),
-                "predecessor of {:?}", p
+                "predecessor of {p:?}"
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// After arbitrary failures (up to a third of the ring), stabilization
-    /// repairs routing: every key reaches the oracle owner of the survivors.
-    #[test]
-    fn failures_heal_and_routing_stays_correct(
-        ids in btree_set(any::<u64>(), 6..24),
-        kill_seed in any::<prop::sample::Index>(),
-        keys in vec(any::<u64>(), 1..12),
-    ) {
-        let peers: Vec<Peer> = ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| Peer::new(ChordId(id), NodeId(i as u32)))
-            .collect();
+/// After arbitrary failures (up to a third of the ring), stabilization
+/// repairs routing: every key reaches the oracle owner of the survivors.
+#[test]
+fn failures_heal_and_routing_stays_correct() {
+    check("failures_heal_and_routing_stays_correct", 48, |g| {
+        let peers = gen_peers(g, 6, 24);
+        let kill_start = g.usize_in(0, peers.len());
+        let keys: Vec<u64> = g.vec_of(1, 12, |g| g.any_u64());
         let mut net = ChordNet::build_static(&peers, ChordConfig::default());
         let kill_count = peers.len() / 3;
-        let kill_start = kill_seed.index(peers.len());
         let killed: Vec<NodeId> = (0..kill_count)
             .map(|i| peers[(kill_start + 2 * i) % peers.len()].node)
             .collect();
@@ -176,50 +189,57 @@ proptest! {
             let key = ChordId(k);
             let want = oracle.owner(key).unwrap().node;
             let (got, _) = route(&net, alive_nodes[0], key).expect("routable");
-            prop_assert_eq!(got, want, "key {:?}", key);
+            tk_assert_eq!(got, want, "key {key:?}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// KeyStore range extraction is a partition: extracting (a, b] and then
-    /// (b, a] empties the store, with no key in both parts.
-    #[test]
-    fn keystore_range_extraction_partitions(
-        keys in btree_set(any::<u64>(), 0..40),
-        a: u64,
-        b: u64,
-    ) {
-        prop_assume!(a != b);
+/// KeyStore range extraction is a partition: extracting (a, b] and then
+/// (b, a] empties the store, with no key in both parts.
+#[test]
+fn keystore_range_extraction_partitions() {
+    check("keystore_range_extraction_partitions", 128, |g| {
+        let keys: BTreeSet<u64> = g.vec_of(0, 40, |g| g.any_u64()).into_iter().collect();
+        let (a, b) = (g.any_u64(), g.any_u64());
+        if a == b {
+            return Ok(());
+        }
         let mut store = KeyStore::new();
         for &k in &keys {
             store.insert(ChordId(k), k);
         }
         let part1 = store.extract_range(ChordId(a), ChordId(b));
         let part2 = store.extract_range(ChordId(b), ChordId(a));
-        prop_assert!(store.is_empty());
-        prop_assert_eq!(part1.len() + part2.len(), keys.len());
+        tk_assert!(store.is_empty());
+        tk_assert_eq!(part1.len() + part2.len(), keys.len());
         for (k, _) in &part1 {
-            prop_assert!(!part2.iter().any(|(k2, _)| k2 == k));
+            tk_assert!(!part2.iter().any(|(k2, _)| k2 == k));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The oracle's owner is consistent with ownership arcs: owner(key) is
-    /// the unique member whose (pred, me] arc contains the key.
-    #[test]
-    fn oracle_owner_matches_arc_membership(ids in btree_set(any::<u64>(), 1..32), key: u64) {
-        let peers: Vec<Peer> = ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| Peer::new(ChordId(id), NodeId(i as u32)))
-            .collect();
+/// The oracle's owner is consistent with ownership arcs: owner(key) is
+/// the unique member whose (pred, me] arc contains the key.
+#[test]
+fn oracle_owner_matches_arc_membership() {
+    check("oracle_owner_matches_arc_membership", 128, |g| {
+        let peers = gen_peers(g, 1, 32);
+        let key = ChordId(g.any_u64());
         let oracle = OracleRing::from_members(peers.iter().copied());
-        let key = ChordId(key);
         let owner = oracle.owner(key).unwrap();
         if peers.len() == 1 {
-            prop_assert_eq!(owner.node, peers[0].node);
+            tk_assert_eq!(owner.node, peers[0].node);
         } else {
             let pred = oracle.predecessor(owner.id).unwrap();
-            prop_assert!(key.in_open_closed(pred.id, owner.id),
-                "key {:?} not in ({:?}, {:?}]", key, pred.id, owner.id);
+            tk_assert!(
+                key.in_open_closed(pred.id, owner.id),
+                "key {key:?} not in ({:?}, {:?}]",
+                pred.id,
+                owner.id
+            );
         }
-    }
+        Ok(())
+    });
 }

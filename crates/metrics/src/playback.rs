@@ -111,12 +111,7 @@ pub fn replay(
 
 /// Mean continuity over all nodes that managed to start (the audience-wide
 /// smoothness score).
-pub fn mean_continuity(
-    obs: &StreamObserver,
-    first: u32,
-    last: u32,
-    policy: PlayerPolicy,
-) -> f64 {
+pub fn mean_continuity(obs: &StreamObserver, first: u32, last: u32, policy: PlayerPolicy) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;
     for node in 0..obs.n_nodes() {
@@ -170,7 +165,11 @@ mod tests {
         assert_eq!(r.chunks_played, 6);
         assert_eq!(r.stalls, 0);
         assert_eq!(r.continuity, 1.0);
-        assert_eq!(r.startup_delay, SimDuration::from_secs(2), "chunks 0,1 by t=2");
+        assert_eq!(
+            r.startup_delay,
+            SimDuration::from_secs(2),
+            "chunks 0,1 by t=2"
+        );
     }
 
     #[test]
@@ -201,7 +200,10 @@ mod tests {
         // Unknown chunk range too.
         let o2 = obs_with(&[]);
         assert!(replay(&o2, NodeId(0), 0, 5, policy()).is_none());
-        assert!(replay(&o2, NodeId(0), 3, 2, policy()).is_none(), "empty range");
+        assert!(
+            replay(&o2, NodeId(0), 3, 2, policy()).is_none(),
+            "empty range"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::rng::splitmix64;
 use crate::time::SimTime;
 
 /// Message counters maintained by the engine.
@@ -89,10 +90,7 @@ impl Counters {
 
     /// Cumulative control units up to and including second `sec`.
     pub fn control_through_second(&self, sec: u64) -> u64 {
-        self.control_per_sec
-            .iter()
-            .take(sec as usize + 1)
-            .sum()
+        self.control_per_sec.iter().take(sec as usize + 1).sum()
     }
 
     /// Messages dropped to dead destinations.
@@ -104,6 +102,66 @@ impl Counters {
     pub fn dropped_fault(&self) -> u64 {
         self.dropped_fault
     }
+
+    /// A comparable, order-stable snapshot of every counter, including the
+    /// full per-tag breakdown. Two runs of the same seeded cell must
+    /// produce `Eq` snapshots — the determinism regression tests and the
+    /// sweep harness rely on this.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            control_total: self.control_total,
+            data_total: self.data_total,
+            by_tag: self
+                .by_tag
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            control_per_sec: self.control_per_sec.clone(),
+            dropped_dead: self.dropped_dead,
+            dropped_fault: self.dropped_fault,
+        }
+    }
+
+    /// A 64-bit digest of [`Counters::snapshot`] — cheap to store per sweep
+    /// cell and to compare across `--jobs` levels.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut fold = |w: u64| h = splitmix64(h ^ w);
+        fold(self.control_total);
+        fold(self.data_total);
+        fold(self.dropped_dead);
+        fold(self.dropped_fault);
+        for (tag, n) in &self.by_tag {
+            for b in tag.bytes() {
+                fold(u64::from(b));
+            }
+            fold(*n);
+        }
+        for (sec, n) in self.control_per_sec.iter().enumerate() {
+            if *n != 0 {
+                fold(sec as u64);
+                fold(*n);
+            }
+        }
+        h
+    }
+}
+
+/// An owned, comparable copy of all counters at one instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Total control transmissions.
+    pub control_total: u64,
+    /// Total data transmissions.
+    pub data_total: u64,
+    /// Per-tag breakdown, sorted by tag.
+    pub by_tag: Vec<(String, u64)>,
+    /// Control units per whole second.
+    pub control_per_sec: Vec<u64>,
+    /// Drops to dead destinations.
+    pub dropped_dead: u64,
+    /// Drops by fault injection.
+    pub dropped_fault: u64,
 }
 
 #[cfg(test)]
@@ -139,6 +197,29 @@ mod tests {
         assert_eq!(c.control_through_second(0), 2);
         assert_eq!(c.control_through_second(2), 3);
         assert_eq!(c.control_through_second(50), 3);
+    }
+
+    #[test]
+    fn snapshot_and_digest_track_state() {
+        let mut a = Counters::new();
+        let mut b = Counters::new();
+        for c in [&mut a, &mut b] {
+            c.record_control(SimTime::from_secs(1), "lookup");
+            c.record_data();
+            c.record_dropped_fault();
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.digest(), b.digest());
+        b.record_control(SimTime::from_secs(2), "insert");
+        assert_ne!(a.snapshot(), b.snapshot());
+        assert_ne!(a.digest(), b.digest());
+        // The digest sees per-second placement, not just totals.
+        let mut c = Counters::new();
+        c.record_control(SimTime::from_secs(5), "lookup");
+        let mut d = Counters::new();
+        d.record_control(SimTime::from_secs(6), "lookup");
+        assert_eq!(c.control_total(), d.control_total());
+        assert_ne!(c.digest(), d.digest());
     }
 
     #[test]

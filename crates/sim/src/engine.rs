@@ -23,14 +23,12 @@
 
 use core::fmt;
 
-use rand::rngs::SmallRng;
-
 use crate::counters::Counters;
 use crate::msg::{MsgClass, SizeBits};
 use crate::net::{Kbps, NetConfig, Network, NodeCaps, Transmit};
 use crate::node::{AliveSet, NodeId};
 use crate::queue::EventQueue;
-use crate::rng::RngHub;
+use crate::rng::{splitmix64, RngHub, SimRng};
 use crate::time::{SimDuration, SimTime};
 
 /// A distributed algorithm driven by the engine.
@@ -100,9 +98,12 @@ pub struct SimCore<P: Protocol> {
     net: Network,
     alive: AliveSet,
     counters: Counters,
-    rng: SmallRng,
+    rng: SimRng,
     hub: RngHub,
     stats: EngineStats,
+    /// Running structural digest of every dispatched event; see
+    /// [`Simulator::trace_digest`].
+    digest: u64,
 }
 
 /// The handle protocols use to act on the world.
@@ -144,10 +145,7 @@ impl<P: Protocol> Ctx<'_, P> {
             .net
             .transmit(core.clock, from, to, MsgClass::Control, size, &mut core.rng)
         {
-            Transmit::Deliver(at) => core.queue.push(
-                at,
-                Event::Deliver { from, to, msg },
-            ),
+            Transmit::Deliver(at) => core.queue.push(at, Event::Deliver { from, to, msg }),
             Transmit::Dropped => core.counters.record_dropped_fault(),
         }
     }
@@ -165,10 +163,7 @@ impl<P: Protocol> Ctx<'_, P> {
             .net
             .transmit(core.clock, from, to, MsgClass::Data, size, &mut core.rng)
         {
-            Transmit::Deliver(at) => core.queue.push(
-                at,
-                Event::Deliver { from, to, msg },
-            ),
+            Transmit::Deliver(at) => core.queue.push(at, Event::Deliver { from, to, msg }),
             Transmit::Dropped => core.counters.record_dropped_fault(),
         }
     }
@@ -217,7 +212,7 @@ impl<P: Protocol> Ctx<'_, P> {
 
     /// The engine's RNG (deterministic given the seed and event order).
     #[inline]
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut SimRng {
         &mut self.core.rng
     }
 
@@ -229,7 +224,9 @@ impl<P: Protocol> Ctx<'_, P> {
 
     /// Spare upload capacity of `node` averaged over `horizon`.
     pub fn available_upload(&self, node: NodeId, horizon: SimDuration) -> Kbps {
-        self.core.net.available_upload(node, self.core.clock, horizon)
+        self.core
+            .net
+            .available_upload(node, self.core.clock, horizon)
     }
 
     /// Queueing delay currently ahead of `node`'s upload pipe.
@@ -258,6 +255,15 @@ impl<P: Protocol> Ctx<'_, P> {
     }
 }
 
+/// Seed of the running trace digest (FNV-1a 64-bit offset basis).
+const TRACE_DIGEST_INIT: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Folds one word into a trace digest.
+#[inline]
+fn fold(digest: u64, word: u64) -> u64 {
+    splitmix64(digest ^ word)
+}
+
 /// The simulator: protocol + engine core + run loop.
 pub struct Simulator<P: Protocol> {
     core: SimCore<P>,
@@ -281,6 +287,7 @@ impl<P: Protocol> Simulator<P> {
                 rng: hub.engine_rng(),
                 hub,
                 stats: EngineStats::default(),
+                digest: TRACE_DIGEST_INIT,
             },
             protocol,
             max_events: 2_000_000_000,
@@ -358,6 +365,25 @@ impl<P: Protocol> Simulator<P> {
         );
         let core = &mut self.core;
         let protocol = &mut self.protocol;
+        // Fold the event's structure into the running digest *before*
+        // handing it to the protocol, so the digest covers exactly the
+        // dispatched event sequence: (time, kind, node, peer). Message
+        // payloads are not hashed — their content is a pure function of
+        // the event order and the seeded RNG streams, so structural
+        // identity already implies behavioural identity.
+        let t = core.clock.as_micros();
+        core.digest = match &ev {
+            Event::Deliver { from, to, .. } => fold(
+                fold(fold(core.digest, t), 1 << 56 | u64::from(to.0)),
+                u64::from(from.0),
+            ),
+            Event::Timer { node, .. } => fold(fold(core.digest, t), 2 << 56 | u64::from(node.0)),
+            Event::Join { node } => fold(fold(core.digest, t), 3 << 56 | u64::from(node.0)),
+            Event::Leave { node, graceful } => fold(
+                fold(core.digest, t),
+                (4 + u64::from(*graceful)) << 56 | u64::from(node.0),
+            ),
+        };
         match ev {
             Event::Deliver { from, to, msg } => {
                 if !core.alive.is_alive(to) {
@@ -410,6 +436,15 @@ impl<P: Protocol> Simulator<P> {
     /// Engine statistics.
     pub fn stats(&self) -> &EngineStats {
         &self.core.stats
+    }
+
+    /// A 64-bit digest of the dispatched event trace so far: every event's
+    /// `(time, kind, node, peer)` tuple folded in dispatch order. Two runs
+    /// of the same `(scenario, seed)` cell are bit-identical iff their
+    /// digests (plus [`Counters::snapshot`]) match — this is the invariant
+    /// the sweep harness asserts across `--jobs` levels.
+    pub fn trace_digest(&self) -> u64 {
+        self.core.digest
     }
 
     /// True if `node` is currently alive.
@@ -578,15 +613,24 @@ mod tests {
             // overkill; instead drive timers through events.
             sim.core.queue.push(
                 SimTime::from_secs(2),
-                Event::Timer { node: NodeId(1), timer: "a" },
+                Event::Timer {
+                    node: NodeId(1),
+                    timer: "a",
+                },
             );
             sim.core.queue.push(
                 SimTime::from_secs(3),
-                Event::Timer { node: NodeId(1), timer: "b" },
+                Event::Timer {
+                    node: NodeId(1),
+                    timer: "b",
+                },
             );
             sim.core.queue.push(
                 SimTime::from_secs(4),
-                Event::Timer { node: NodeId(1), timer: "dead" },
+                Event::Timer {
+                    node: NodeId(1),
+                    timer: "dead",
+                },
             );
         }
         sim.schedule_leave(NodeId(1), SimTime::from_millis(3500), false);
@@ -621,9 +665,39 @@ mod tests {
                 sim.counters().control_total(),
                 sim.now(),
                 sim.stats().events_processed,
+                sim.trace_digest(),
             )
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn trace_digest_separates_different_histories() {
+        let run = |n| {
+            let mut sim = build(n);
+            sim.run();
+            sim.trace_digest()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+        // An idle simulator keeps the initial digest.
+        let sim = build(3);
+        let fresh = sim.trace_digest();
+        let mut ran = build(3);
+        ran.run();
+        assert_ne!(fresh, ran.trace_digest());
+    }
+
+    #[test]
+    fn trace_digest_distinguishes_graceful_from_abrupt_leave() {
+        let run = |graceful| {
+            let mut sim = build(3);
+            sim.run_until(SimTime::from_secs(1));
+            sim.schedule_leave(NodeId(1), SimTime::from_secs(2), graceful);
+            sim.run();
+            sim.trace_digest()
+        };
+        assert_ne!(run(true), run(false));
     }
 
     #[test]

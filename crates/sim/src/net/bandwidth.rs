@@ -40,7 +40,8 @@ impl Kbps {
         }
         // micros = ceil(bits * 1e6 / bps); bits ≤ 2^40ish in practice so the
         // u128 intermediate cannot overflow.
-        let micros = (size.bits() as u128 * 1_000_000).div_ceil(bps as u128)
+        let micros = (size.bits() as u128 * 1_000_000)
+            .div_ceil(bps as u128)
             .min(u64::MAX as u128) as u64;
         SimDuration::from_micros(micros)
     }
@@ -70,7 +71,10 @@ pub struct NodeCaps {
 impl NodeCaps {
     /// Symmetric capacity.
     pub const fn symmetric(rate: Kbps) -> Self {
-        NodeCaps { up: rate, down: rate }
+        NodeCaps {
+            up: rate,
+            down: rate,
+        }
     }
 
     /// The paper's peer profile: 600 kbps both ways.

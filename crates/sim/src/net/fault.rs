@@ -5,11 +5,11 @@
 //! Draws come from the engine RNG so faulty runs are as reproducible as clean
 //! ones.
 
-use rand::Rng;
 use std::collections::HashSet;
 
 use crate::msg::MsgClass;
 use crate::node::NodeId;
+use crate::rng::SimRng;
 
 /// A message-loss policy applied to every transmission.
 #[derive(Clone, Debug, Default)]
@@ -61,13 +61,7 @@ impl FaultPlan {
 
     /// Decides whether the transmission `from → to` of class `class` is
     /// dropped.
-    pub fn drops<R: Rng + ?Sized>(
-        &self,
-        from: NodeId,
-        to: NodeId,
-        class: MsgClass,
-        rng: &mut R,
-    ) -> bool {
+    pub fn drops(&self, from: NodeId, to: NodeId, class: MsgClass, rng: &mut SimRng) -> bool {
         if self.cut_links.contains(&(from, to)) {
             return true;
         }
@@ -82,14 +76,13 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SimRng;
 
     #[test]
     fn clean_plan_never_drops() {
         let plan = FaultPlan::none();
         assert!(!plan.is_active());
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         for _ in 0..100 {
             assert!(!plan.drops(NodeId(0), NodeId(1), MsgClass::Data, &mut rng));
             assert!(!plan.drops(NodeId(0), NodeId(1), MsgClass::Control, &mut rng));
@@ -100,7 +93,7 @@ mod tests {
     fn certain_loss_always_drops() {
         let plan = FaultPlan::uniform(1.0);
         assert!(plan.is_active());
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         assert!(plan.drops(NodeId(0), NodeId(1), MsgClass::Data, &mut rng));
         assert!(plan.drops(NodeId(0), NodeId(1), MsgClass::Control, &mut rng));
     }
@@ -112,7 +105,7 @@ mod tests {
             control_loss: 0.0,
             ..FaultPlan::default()
         };
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         assert!(plan.drops(NodeId(0), NodeId(1), MsgClass::Data, &mut rng));
         assert!(!plan.drops(NodeId(0), NodeId(1), MsgClass::Control, &mut rng));
     }
@@ -121,7 +114,7 @@ mod tests {
     fn cut_links_are_directed() {
         let mut plan = FaultPlan::none();
         plan.cut_link(NodeId(0), NodeId(1));
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         assert!(plan.drops(NodeId(0), NodeId(1), MsgClass::Control, &mut rng));
         assert!(!plan.drops(NodeId(1), NodeId(0), MsgClass::Control, &mut rng));
         plan.heal_link(NodeId(0), NodeId(1));
@@ -132,7 +125,7 @@ mod tests {
     fn cut_pair_severs_both_directions() {
         let mut plan = FaultPlan::none();
         plan.cut_pair(NodeId(4), NodeId(9));
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         assert!(plan.drops(NodeId(4), NodeId(9), MsgClass::Data, &mut rng));
         assert!(plan.drops(NodeId(9), NodeId(4), MsgClass::Data, &mut rng));
     }
@@ -140,7 +133,7 @@ mod tests {
     #[test]
     fn approximate_loss_rate() {
         let plan = FaultPlan::uniform(0.3);
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = SimRng::seed_from_u64(42);
         let n = 20_000;
         let dropped = (0..n)
             .filter(|_| plan.drops(NodeId(0), NodeId(1), MsgClass::Data, &mut rng))

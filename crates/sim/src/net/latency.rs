@@ -5,9 +5,8 @@
 //! 50 ms one-way delay (≈0.1 s round trip). A uniform-jitter model and an
 //! explicit per-pair matrix are provided for sensitivity studies.
 
-use rand::Rng;
-
 use crate::node::NodeId;
+use crate::rng::SimRng;
 use crate::time::SimDuration;
 
 /// A one-way propagation latency model between node pairs.
@@ -44,7 +43,11 @@ impl LatencyModel {
     }
 
     /// Builds an `n × n` matrix model from a function of the pair.
-    pub fn from_fn(n: usize, default: SimDuration, f: impl Fn(NodeId, NodeId) -> SimDuration) -> Self {
+    pub fn from_fn(
+        n: usize,
+        default: SimDuration,
+        f: impl Fn(NodeId, NodeId) -> SimDuration,
+    ) -> Self {
         let mut table = Vec::with_capacity(n * n);
         for a in 0..n {
             for b in 0..n {
@@ -55,7 +58,7 @@ impl LatencyModel {
     }
 
     /// Samples the one-way latency from `from` to `to`.
-    pub fn sample<R: Rng + ?Sized>(&self, from: NodeId, to: NodeId, rng: &mut R) -> SimDuration {
+    pub fn sample(&self, from: NodeId, to: NodeId, rng: &mut SimRng) -> SimDuration {
         match self {
             LatencyModel::Constant(d) => *d,
             LatencyModel::Uniform { min, max } => {
@@ -81,13 +84,11 @@ impl LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn constant_model() {
         let m = LatencyModel::paper_default();
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         assert_eq!(
             m.sample(NodeId(0), NodeId(1), &mut rng),
             SimDuration::from_millis(50)
@@ -100,7 +101,7 @@ mod tests {
             min: SimDuration::from_millis(10),
             max: SimDuration::from_millis(90),
         };
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         for _ in 0..1000 {
             let d = m.sample(NodeId(0), NodeId(1), &mut rng);
             assert!(d >= SimDuration::from_millis(10));
@@ -114,7 +115,7 @@ mod tests {
             min: SimDuration::from_millis(30),
             max: SimDuration::from_millis(30),
         };
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         assert_eq!(
             m.sample(NodeId(2), NodeId(3), &mut rng),
             SimDuration::from_millis(30)
@@ -126,7 +127,7 @@ mod tests {
         let m = LatencyModel::from_fn(3, SimDuration::from_millis(99), |a, b| {
             SimDuration::from_millis((a.0 * 10 + b.0) as u64)
         });
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         assert_eq!(
             m.sample(NodeId(2), NodeId(1), &mut rng),
             SimDuration::from_millis(21)

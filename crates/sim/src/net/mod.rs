@@ -29,10 +29,9 @@ pub use fault::FaultPlan;
 pub use latency::LatencyModel;
 pub use pipe::Pipe;
 
-use rand::Rng;
-
 use crate::msg::{MsgClass, SizeBits};
 use crate::node::NodeId;
+use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Configuration of the network substrate.
@@ -128,14 +127,14 @@ impl Network {
 
     /// Computes when a transmission submitted at `now` arrives, reserving
     /// pipe capacity for data (and, if configured, control) messages.
-    pub fn transmit<R: Rng + ?Sized>(
+    pub fn transmit(
         &mut self,
         now: SimTime,
         from: NodeId,
         to: NodeId,
         class: MsgClass,
         size: SizeBits,
-        rng: &mut R,
+        rng: &mut SimRng,
     ) -> Transmit {
         if self.cfg.faults.is_active() && self.cfg.faults.drops(from, to, class, rng) {
             return Transmit::Dropped;
@@ -200,15 +199,14 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SimRng;
 
-    fn net() -> (Network, SmallRng) {
+    fn net() -> (Network, SimRng) {
         let mut n = Network::new(NetConfig::default());
         n.push_node(NodeCaps::server_default()); // N0
         n.push_node(NodeCaps::peer_default()); // N1
         n.push_node(NodeCaps::peer_default()); // N2
-        (n, SmallRng::seed_from_u64(1))
+        (n, SimRng::seed_from_u64(1))
     }
 
     const CHUNK: SizeBits = SizeBits(300_000);
@@ -234,15 +232,36 @@ mod tests {
         let (mut n, mut rng) = net();
         // 75 ms serialization at server + 50 ms latency + 500 ms at peer
         // download = 625 ms.
-        let t = n.transmit(SimTime::ZERO, NodeId(0), NodeId(1), MsgClass::Data, CHUNK, &mut rng);
+        let t = n.transmit(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Data,
+            CHUNK,
+            &mut rng,
+        );
         assert_eq!(t, Transmit::Deliver(SimTime::from_millis(625)));
     }
 
     #[test]
     fn upload_pipe_serializes_consecutive_chunks() {
         let (mut n, mut rng) = net();
-        let t1 = n.transmit(SimTime::ZERO, NodeId(1), NodeId(2), MsgClass::Data, CHUNK, &mut rng);
-        let t2 = n.transmit(SimTime::ZERO, NodeId(1), NodeId(2), MsgClass::Data, CHUNK, &mut rng);
+        let t1 = n.transmit(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            MsgClass::Data,
+            CHUNK,
+            &mut rng,
+        );
+        let t2 = n.transmit(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            MsgClass::Data,
+            CHUNK,
+            &mut rng,
+        );
         // First: 500 up + 50 + 500 down = 1.05 s. Second queues behind both
         // pipes: up 0.5..1.0, arrive 1.05, down busy until 1.05 -> 1.55 s.
         assert_eq!(t1, Transmit::Deliver(SimTime::from_millis(1050)));
@@ -256,8 +275,22 @@ mod tests {
     #[test]
     fn download_pipe_serializes_concurrent_senders() {
         let (mut n, mut rng) = net();
-        let t1 = n.transmit(SimTime::ZERO, NodeId(0), NodeId(2), MsgClass::Data, CHUNK, &mut rng);
-        let t2 = n.transmit(SimTime::ZERO, NodeId(1), NodeId(2), MsgClass::Data, CHUNK, &mut rng);
+        let t1 = n.transmit(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(2),
+            MsgClass::Data,
+            CHUNK,
+            &mut rng,
+        );
+        let t2 = n.transmit(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            MsgClass::Data,
+            CHUNK,
+            &mut rng,
+        );
         // Server chunk occupies N2's download 0.125..0.625.
         assert_eq!(t1, Transmit::Deliver(SimTime::from_millis(625)));
         // Peer chunk arrives at 0.55 but the pipe is busy until 0.625.
@@ -273,8 +306,15 @@ mod tests {
         let mut n = Network::new(cfg);
         n.push_node(NodeCaps::peer_default());
         n.push_node(NodeCaps::peer_default());
-        let mut rng = SmallRng::seed_from_u64(1);
-        let t = n.transmit(SimTime::ZERO, NodeId(0), NodeId(1), MsgClass::Data, CHUNK, &mut rng);
+        let mut rng = SimRng::seed_from_u64(1);
+        let t = n.transmit(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Data,
+            CHUNK,
+            &mut rng,
+        );
         assert_eq!(t, Transmit::Dropped);
     }
 
@@ -287,7 +327,7 @@ mod tests {
         let mut n = Network::new(cfg);
         n.push_node(NodeCaps::peer_default());
         n.push_node(NodeCaps::peer_default());
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let t = n.transmit(
             SimTime::ZERO,
             NodeId(0),
@@ -306,7 +346,14 @@ mod tests {
             n.available_upload(NodeId(1), SimTime::ZERO, SimDuration::from_secs(1)),
             Kbps(600)
         );
-        n.transmit(SimTime::ZERO, NodeId(1), NodeId(2), MsgClass::Data, CHUNK, &mut rng);
+        n.transmit(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            MsgClass::Data,
+            CHUNK,
+            &mut rng,
+        );
         assert_eq!(
             n.available_upload(NodeId(1), SimTime::ZERO, SimDuration::from_secs(1)),
             Kbps(300)
@@ -318,35 +365,64 @@ mod tests {
         let mut n = Network::new(NetConfig::paper_model());
         n.push_node(NodeCaps::peer_default());
         n.push_node(NodeCaps::peer_default());
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         // 500 ms upload + 50 ms latency, no download serialization.
-        let t = n.transmit(SimTime::ZERO, NodeId(0), NodeId(1), MsgClass::Data, CHUNK, &mut rng);
+        let t = n.transmit(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Data,
+            CHUNK,
+            &mut rng,
+        );
         assert_eq!(t, Transmit::Deliver(SimTime::from_millis(550)));
         // Concurrent senders to one receiver are not serialized there.
         let mut m = Network::new(NetConfig::paper_model());
         for _ in 0..3 {
             m.push_node(NodeCaps::peer_default());
         }
-        let t1 = m.transmit(SimTime::ZERO, NodeId(0), NodeId(2), MsgClass::Data, CHUNK, &mut rng);
-        let t2 = m.transmit(SimTime::ZERO, NodeId(1), NodeId(2), MsgClass::Data, CHUNK, &mut rng);
+        let t1 = m.transmit(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(2),
+            MsgClass::Data,
+            CHUNK,
+            &mut rng,
+        );
+        let t2 = m.transmit(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            MsgClass::Data,
+            CHUNK,
+            &mut rng,
+        );
         assert_eq!(t1, t2);
     }
 
     #[test]
     fn reset_pipes_clears_backlog() {
         let (mut n, mut rng) = net();
-        n.transmit(SimTime::ZERO, NodeId(1), NodeId(2), MsgClass::Data, CHUNK, &mut rng);
+        n.transmit(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            MsgClass::Data,
+            CHUNK,
+            &mut rng,
+        );
         n.reset_pipes(NodeId(1), SimTime::from_millis(100));
-        assert!(n.upload_backlog(NodeId(1), SimTime::from_millis(100)).is_zero());
+        assert!(n
+            .upload_backlog(NodeId(1), SimTime::from_millis(100))
+            .is_zero());
     }
 }
 
 #[cfg(test)]
 mod latency_jitter_tests {
     use super::*;
+    use crate::rng::SimRng;
     use crate::time::SimDuration;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_latency_affects_deliveries() {
@@ -360,7 +436,7 @@ mod latency_jitter_tests {
         let mut n = Network::new(cfg);
         n.push_node(NodeCaps::peer_default());
         n.push_node(NodeCaps::peer_default());
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..50 {
             match n.transmit(
@@ -379,7 +455,11 @@ mod latency_jitter_tests {
                 Transmit::Dropped => panic!("no faults configured"),
             }
         }
-        assert!(seen.len() > 10, "jitter should vary deliveries: {}", seen.len());
+        assert!(
+            seen.len() > 10,
+            "jitter should vary deliveries: {}",
+            seen.len()
+        );
     }
 
     #[test]
@@ -393,9 +473,23 @@ mod latency_jitter_tests {
         let mut n = Network::new(cfg);
         n.push_node(NodeCaps::peer_default());
         n.push_node(NodeCaps::peer_default());
-        let mut rng = SmallRng::seed_from_u64(3);
-        let t01 = n.transmit(SimTime::ZERO, NodeId(0), NodeId(1), MsgClass::Control, SizeBits::ZERO, &mut rng);
-        let t10 = n.transmit(SimTime::ZERO, NodeId(1), NodeId(0), MsgClass::Control, SizeBits::ZERO, &mut rng);
+        let mut rng = SimRng::seed_from_u64(3);
+        let t01 = n.transmit(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Control,
+            SizeBits::ZERO,
+            &mut rng,
+        );
+        let t10 = n.transmit(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(0),
+            MsgClass::Control,
+            SizeBits::ZERO,
+            &mut rng,
+        );
         assert_eq!(t01, Transmit::Deliver(SimTime::from_millis(15)));
         assert_eq!(t10, Transmit::Deliver(SimTime::from_millis(105)));
     }

@@ -89,7 +89,11 @@ impl Pipe {
     /// node advertises as its "available bandwidth" in chunk indices.
     pub fn available_kbps(&self, now: SimTime, horizon: SimDuration) -> Kbps {
         if horizon.is_zero() {
-            return if self.is_idle(now) { self.rate } else { Kbps(0) };
+            return if self.is_idle(now) {
+                self.rate
+            } else {
+                Kbps(0)
+            };
         }
         let backlog = self.backlog(now);
         if backlog >= horizon {
@@ -131,7 +135,10 @@ mod tests {
         let mut p = Pipe::new(Kbps(600));
         let (start, finish) = p.admit(SimTime::from_secs(10), kb(300));
         assert_eq!(start, SimTime::from_secs(10));
-        assert_eq!(finish, SimTime::from_secs(10) + SimDuration::from_millis(500));
+        assert_eq!(
+            finish,
+            SimTime::from_secs(10) + SimDuration::from_millis(500)
+        );
     }
 
     #[test]
@@ -161,7 +168,10 @@ mod tests {
         let mut p = Pipe::new(Kbps(600));
         p.admit(SimTime::ZERO, kb(300));
         assert_eq!(p.backlog(SimTime::ZERO), SimDuration::from_millis(500));
-        assert_eq!(p.backlog(SimTime::from_millis(200)), SimDuration::from_millis(300));
+        assert_eq!(
+            p.backlog(SimTime::from_millis(200)),
+            SimDuration::from_millis(300)
+        );
         assert_eq!(p.backlog(SimTime::from_secs(1)), SimDuration::ZERO);
     }
 
@@ -199,7 +209,10 @@ mod tests {
     #[test]
     fn available_bandwidth_zero_horizon_is_idle_test() {
         let mut p = Pipe::new(Kbps(600));
-        assert_eq!(p.available_kbps(SimTime::ZERO, SimDuration::ZERO), Kbps(600));
+        assert_eq!(
+            p.available_kbps(SimTime::ZERO, SimDuration::ZERO),
+            Kbps(600)
+        );
         p.admit(SimTime::ZERO, kb(300));
         assert_eq!(p.available_kbps(SimTime::ZERO, SimDuration::ZERO), Kbps(0));
     }

@@ -372,10 +372,7 @@ mod tests {
         // Negative / NaN clamp to zero.
         assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::from_secs_f64(f64::INFINITY),
-            SimDuration::MAX
-        );
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
     }
 
     #[test]
@@ -433,7 +430,10 @@ mod tests {
 
     #[test]
     fn saturating_instant_add() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

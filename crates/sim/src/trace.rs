@@ -64,7 +64,13 @@ impl Trace {
     }
 
     /// Records an event (no-op when disabled).
-    pub fn record(&mut self, at: SimTime, node: NodeId, kind: &'static str, detail: impl Into<String>) {
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        kind: &'static str,
+        detail: impl Into<String>,
+    ) {
         if !self.enabled {
             return;
         }

@@ -60,14 +60,16 @@ impl ArrivalPattern {
                 }
                 SimTime::from_micros(t)
             }
-            ArrivalPattern::FlashCrowd { initial_fraction, span } => {
+            ArrivalPattern::FlashCrowd {
+                initial_fraction,
+                span,
+            } => {
                 let cut = (n as f64 * initial_fraction.clamp(0.0, 1.0)) as u64;
                 if i <= cut.max(1) {
                     SimTime::ZERO
                 } else {
                     let rest = (n - cut).max(1);
-                    SimTime::ZERO
-                        + SimDuration::from_micros(span.as_micros() * (i - cut) / rest)
+                    SimTime::ZERO + SimDuration::from_micros(span.as_micros() * (i - cut) / rest)
                 }
             }
         }
@@ -82,8 +84,13 @@ mod tests {
     fn server_always_at_zero() {
         for p in [
             ArrivalPattern::AllAtOnce,
-            ArrivalPattern::Ramp { span: SimDuration::from_secs(30) },
-            ArrivalPattern::Poisson { mean_gap: SimDuration::from_secs(1), seed: 4 },
+            ArrivalPattern::Ramp {
+                span: SimDuration::from_secs(30),
+            },
+            ArrivalPattern::Poisson {
+                mean_gap: SimDuration::from_secs(1),
+                seed: 4,
+            },
             ArrivalPattern::FlashCrowd {
                 initial_fraction: 0.5,
                 span: SimDuration::from_secs(60),
@@ -117,7 +124,10 @@ mod tests {
 
     #[test]
     fn poisson_is_deterministic_and_increasing() {
-        let p = ArrivalPattern::Poisson { mean_gap: SimDuration::from_millis(500), seed: 7 };
+        let p = ArrivalPattern::Poisson {
+            mean_gap: SimDuration::from_millis(500),
+            seed: 7,
+        };
         let a = p.join_time(NodeId(10), 100);
         let b = p.join_time(NodeId(10), 100);
         assert_eq!(a, b);
@@ -133,7 +143,11 @@ mod tests {
             initial_fraction: 0.5,
             span: SimDuration::from_secs(40),
         };
-        assert_eq!(p.join_time(NodeId(10), 101), SimTime::ZERO, "early half instant");
+        assert_eq!(
+            p.join_time(NodeId(10), 101),
+            SimTime::ZERO,
+            "early half instant"
+        );
         let late = p.join_time(NodeId(90), 101);
         assert!(late > SimTime::ZERO);
         assert!(late <= SimTime::from_secs(40));

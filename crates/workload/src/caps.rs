@@ -46,7 +46,11 @@ impl CapsProfile {
             CapsProfile::Uniform { server, peer } => {
                 NodeCaps::symmetric(if index == 0 { *server } else { *peer })
             }
-            CapsProfile::Heterogeneous { server, classes, seed } => {
+            CapsProfile::Heterogeneous {
+                server,
+                classes,
+                seed,
+            } => {
                 if index == 0 {
                     return NodeCaps::symmetric(*server);
                 }
@@ -79,7 +83,10 @@ mod tests {
 
     #[test]
     fn uniform_profile() {
-        let p = CapsProfile::Uniform { server: Kbps(10_000), peer: Kbps(1_000) };
+        let p = CapsProfile::Uniform {
+            server: Kbps(10_000),
+            peer: Kbps(1_000),
+        };
         assert_eq!(p.caps_for(0).up, Kbps(10_000));
         assert_eq!(p.caps_for(3).down, Kbps(1_000));
     }

@@ -11,9 +11,8 @@
 //! is independently graceful with probability `graceful_fraction`.
 
 use dco_sim::node::NodeId;
+use dco_sim::rng::SimRng;
 use dco_sim::time::{SimDuration, SimTime};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Churn parameters.
 #[derive(Clone, Debug)]
@@ -69,7 +68,7 @@ pub struct ChurnSchedule {
 
 /// Samples an exponential with the given mean (never zero; never beyond
 /// ~30× the mean, to keep event counts bounded).
-fn sample_exp(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
+fn sample_exp(rng: &mut SimRng, mean: SimDuration) -> SimDuration {
     let u: f64 = rng.gen_range(1e-12..1.0);
     let x = -u.ln();
     mean.mul_f64(x.min(30.0)).max(SimDuration::from_micros(1))
@@ -90,9 +89,9 @@ impl ChurnSchedule {
         let mut events = Vec::with_capacity(count as usize);
         for i in 0..count {
             let node = NodeId(first + i);
-            let mut rng = SmallRng::seed_from_u64(
-                dco_sim::rng::splitmix64(seed ^ (u64::from(first + i)).wrapping_mul(0x517C_C1B7)),
-            );
+            let mut rng = SimRng::seed_from_u64(dco_sim::rng::splitmix64(
+                seed ^ (u64::from(first + i)).wrapping_mul(0x517C_C1B7),
+            ));
             let mut seq = Vec::new();
             let stagger = SimDuration::from_micros(u64::from(i) % 1_000_000);
             let mut t = SimTime::ZERO + stagger;

@@ -41,11 +41,7 @@ impl LagProfile {
     /// The number of distinct live chunks in the channel at steady state:
     /// the prefetch-window chunks plus the lag spread, as computed in the
     /// paper's §III-B2 example (window chunks + max_lag / chunk_len).
-    pub fn live_chunk_count(
-        &self,
-        window_chunks: u64,
-        chunk_len: SimDuration,
-    ) -> u64 {
+    pub fn live_chunk_count(&self, window_chunks: u64, chunk_len: SimDuration) -> u64 {
         if chunk_len.is_zero() {
             return window_chunks;
         }
@@ -69,7 +65,10 @@ mod tests {
 
     #[test]
     fn zero_max_lag() {
-        let p = LagProfile { max_lag: SimDuration::ZERO, seed: 1 };
+        let p = LagProfile {
+            max_lag: SimDuration::ZERO,
+            seed: 1,
+        };
         assert_eq!(p.lag_of(NodeId(3)), SimDuration::ZERO);
     }
 
@@ -78,7 +77,10 @@ mod tests {
         let p = LagProfile::paper_example(42);
         let half = p.max_lag / 2;
         let below = (0..1000u32).filter(|&i| p.lag_of(NodeId(i)) < half).count();
-        assert!((350..=650).contains(&below), "skewed: {below}/1000 below half");
+        assert!(
+            (350..=650).contains(&below),
+            "skewed: {below}/1000 below half"
+        );
     }
 
     #[test]

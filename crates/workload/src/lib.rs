@@ -5,6 +5,8 @@
 //! * [`arrivals`] — viewer arrival patterns (ramps, Poisson, flash crowds).
 //! * [`caps`] — link capacities (4000 kbps server, 600 kbps peers).
 //! * [`churn`] — exponential session/downtime churn schedules (Figs. 11–12).
+//! * [`grid`] — cartesian scenario-grid expansion with per-coordinate cell
+//!   seeds (the batch-sweep harness builds on this).
 //! * [`scenario`] — the bundle: population, chunk stream shape, capacities,
 //!   optional churn; installs itself into any protocol's simulator.
 //! * [`lag`] — viewer playback-lag assignment (prefetch-window studies).
@@ -17,6 +19,7 @@
 pub mod arrivals;
 pub mod caps;
 pub mod churn;
+pub mod grid;
 pub mod lag;
 pub mod scenario;
 pub mod topology;
@@ -24,6 +27,7 @@ pub mod topology;
 pub use arrivals::ArrivalPattern;
 pub use caps::CapsProfile;
 pub use churn::{ChurnConfig, ChurnEvent, ChurnSchedule};
+pub use grid::{ChurnLevel, GridCell, ScenarioGrid};
 pub use lag::LagProfile;
 pub use scenario::Scenario;
 pub use topology::RegionTopology;

@@ -82,9 +82,7 @@ impl Scenario {
     pub fn churn_schedule(&self) -> ChurnSchedule {
         match &self.churn {
             None => ChurnSchedule::default(),
-            Some(cfg) => {
-                ChurnSchedule::generate(1, self.n_nodes - 1, self.horizon, cfg, self.seed)
-            }
+            Some(cfg) => ChurnSchedule::generate(1, self.n_nodes - 1, self.horizon, cfg, self.seed),
         }
     }
 
@@ -110,9 +108,7 @@ impl Scenario {
                 for e in seq {
                     match *e {
                         ChurnEvent::Join(at) => sim.schedule_join(*node, at),
-                        ChurnEvent::Leave(at, graceful) => {
-                            sim.schedule_leave(*node, at, graceful)
-                        }
+                        ChurnEvent::Leave(at, graceful) => sim.schedule_leave(*node, at, graceful),
                     }
                 }
             }

@@ -43,8 +43,8 @@ impl RegionTopology {
 
     /// The region of `node` (deterministic hash assignment).
     pub fn region_of(&self, node: NodeId) -> u32 {
-        (splitmix64(self.seed ^ u64::from(node.0).wrapping_mul(0x1234_5677)) % u64::from(self.regions.max(1)))
-            as u32
+        (splitmix64(self.seed ^ u64::from(node.0).wrapping_mul(0x1234_5677))
+            % u64::from(self.regions.max(1))) as u32
     }
 
     /// One-way latency from `a` to `b` (symmetric, self = 0).
@@ -125,7 +125,10 @@ mod tests {
             intra < inter,
             "intra {intra} should be cheaper than inter {inter}"
         );
-        assert!(intra <= SimDuration::from_millis(25), "intra = base + jitter");
+        assert!(
+            intra <= SimDuration::from_millis(25),
+            "intra = base + jitter"
+        );
     }
 
     #[test]
@@ -158,11 +161,10 @@ mod tests {
 
     #[test]
     fn matrix_model_round_trips() {
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use dco_sim::rng::SimRng;
         let t = topo();
         let m = t.to_latency_model(16);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         for i in 0..16u32 {
             for j in 0..16u32 {
                 assert_eq!(

@@ -34,7 +34,12 @@ fn main() {
             sim.now(),
             origin,
             origin,
-            KvMsg::Put { key, value: 1000 + i as u64, ttl: 64, fin: false },
+            KvMsg::Put {
+                key,
+                value: 1000 + i as u64,
+                ttl: 64,
+                fin: false,
+            },
         );
     }
     sim.run_until(sim.now() + SimDuration::from_secs(5));
@@ -47,7 +52,13 @@ fn main() {
             sim.now(),
             origin,
             origin,
-            KvMsg::Get { key, origin, cookie: i as u64, ttl: 64, fin: false },
+            KvMsg::Get {
+                key,
+                origin,
+                cookie: i as u64,
+                ttl: 64,
+                fin: false,
+            },
         );
     }
     sim.run_until(sim.now() + SimDuration::from_secs(5));
@@ -81,14 +92,25 @@ fn main() {
         sim.now(),
         NodeId(1),
         NodeId(1),
-        KvMsg::Put { key, value: 4242, ttl: 64, fin: false },
+        KvMsg::Put {
+            key,
+            value: 4242,
+            ttl: 64,
+            fin: false,
+        },
     );
     sim.run_until(sim.now() + SimDuration::from_secs(3));
     sim.inject_message(
         sim.now(),
         NodeId(2),
         NodeId(2),
-        KvMsg::Get { key, origin: NodeId(2), cookie: 999, ttl: 64, fin: false },
+        KvMsg::Get {
+            key,
+            origin: NodeId(2),
+            cookie: 999,
+            ttl: 64,
+            fin: false,
+        },
     );
     sim.run_until(sim.now() + SimDuration::from_secs(3));
 

@@ -31,8 +31,14 @@ fn main() {
         sim.schedule_join(id, SimTime::ZERO);
     }
 
-    println!("== hierarchical tier: {} viewers, server-only ring at start ==\n", n_nodes - 1);
-    println!("{:>8} {:>14} {:>14} {:>12}", "t (s)", "ring members", "coordinators", "received %");
+    println!(
+        "== hierarchical tier: {} viewers, server-only ring at start ==\n",
+        n_nodes - 1
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "t (s)", "ring members", "coordinators", "received %"
+    );
     for t in [5u64, 15, 30, 60, 100, 140] {
         sim.run_until(SimTime::from_secs(t));
         let p = sim.protocol();

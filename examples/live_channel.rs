@@ -39,12 +39,12 @@ fn main() {
     sim.run_until(horizon);
 
     let p = sim.protocol();
-    println!("== live channel: {} viewers arriving over 30 s ==\n", n_nodes - 1);
-
     println!(
-        "ring members          : {:>6}",
-        p.chord().member_count()
+        "== live channel: {} viewers arriving over 30 s ==\n",
+        n_nodes - 1
     );
+
+    println!("ring members          : {:>6}", p.chord().member_count());
     println!(
         "chunks received       : {:>6.1} %",
         p.obs.received_percentage(horizon)
@@ -53,15 +53,10 @@ fn main() {
         "mean mesh delay       : {:>6.2} s",
         p.obs.mean_mesh_delay(horizon)
     );
-    println!(
-        "fetch failures seen   : {:>6}",
-        p.fetch_failures
-    );
+    println!("fetch failures seen   : {:>6}", p.fetch_failures);
 
     // How evenly did the coordinators share the index load?
-    let mut index_counts: Vec<usize> = (0..n_nodes)
-        .map(|i| p.index_count(NodeId(i)))
-        .collect();
+    let mut index_counts: Vec<usize> = (0..n_nodes).map(|i| p.index_count(NodeId(i))).collect();
     index_counts.sort_unstable();
     let total: usize = index_counts.iter().sum();
     println!("\nindex entries         : {total} across the ring");
@@ -81,15 +76,16 @@ fn main() {
 
     // Late viewers only watch from their join point — check one.
     let late = NodeId(n_nodes - 1);
-    let first_held = (0..n_chunks)
-        .map(ChunkSeq)
-        .find(|&s| p.holds(late, s));
+    let first_held = (0..n_chunks).map(ChunkSeq).find(|&s| p.holds(late, s));
     println!(
         "\nlast viewer to arrive holds chunks from {:?} onward",
         first_held
     );
 
     assert!(p.obs.received_percentage(horizon) > 95.0);
-    assert!(peer_serves > server_serves, "the swarm must carry most load");
+    assert!(
+        peer_serves > server_serves,
+        "the swarm must carry most load"
+    );
     println!("\nswarm carried the stream ✓");
 }

@@ -29,7 +29,11 @@ fn main() {
     sim.run_until(horizon);
 
     let p = sim.protocol();
-    println!("== DCO quickstart: {} viewers, {} chunks ==", n_nodes - 1, n_chunks);
+    println!(
+        "== DCO quickstart: {} viewers, {} chunks ==",
+        n_nodes - 1,
+        n_chunks
+    );
     println!(
         "mean mesh delay        : {:>8.2} s",
         p.obs.mean_mesh_delay(horizon)

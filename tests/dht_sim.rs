@@ -6,7 +6,11 @@ use dco::dht::kv::{ChordKv, KvConfig, KvMsg};
 use dco::sim::prelude::*;
 
 fn ring_of(n: u32, seed: u64) -> Simulator<ChordKv> {
-    let mut sim = Simulator::new(ChordKv::new(KvConfig::default()), NetConfig::default(), seed);
+    let mut sim = Simulator::new(
+        ChordKv::new(KvConfig::default()),
+        NetConfig::default(),
+        seed,
+    );
     for i in 0..n {
         let id = sim.add_node(NodeCaps::peer_default());
         sim.schedule_join(id, SimTime::from_millis(u64::from(i) * 100));
@@ -28,7 +32,13 @@ fn mean_get_hops(sim: &mut Simulator<ChordKv>, n: u32, k: u64) -> f64 {
             sim.now(),
             origin,
             origin,
-            KvMsg::Get { key, origin, cookie: 10_000 + i, ttl: 64, fin: false },
+            KvMsg::Get {
+                key,
+                origin,
+                cookie: 10_000 + i,
+                ttl: 64,
+                fin: false,
+            },
         );
     }
     sim.run_until(sim.now() + SimDuration::from_secs(10));
@@ -82,7 +92,12 @@ fn mass_failure_heals_and_data_survives_on_live_owners() {
             sim.now(),
             NodeId(1),
             NodeId(1),
-            KvMsg::Put { key, value: i, ttl: 64, fin: false },
+            KvMsg::Put {
+                key,
+                value: i,
+                ttl: 64,
+                fin: false,
+            },
         );
     }
     sim.run_until(sim.now() + SimDuration::from_secs(5));
@@ -108,14 +123,25 @@ fn mass_failure_heals_and_data_survives_on_live_owners() {
         sim.now(),
         NodeId(1),
         NodeId(1),
-        KvMsg::Put { key, value: 777, ttl: 64, fin: false },
+        KvMsg::Put {
+            key,
+            value: 777,
+            ttl: 64,
+            fin: false,
+        },
     );
     sim.run_until(sim.now() + SimDuration::from_secs(3));
     sim.inject_message(
         sim.now(),
         NodeId(2),
         NodeId(2),
-        KvMsg::Get { key, origin: NodeId(2), cookie: 424242, ttl: 64, fin: false },
+        KvMsg::Get {
+            key,
+            origin: NodeId(2),
+            cookie: 424242,
+            ttl: 64,
+            fin: false,
+        },
     );
     sim.run_until(sim.now() + SimDuration::from_secs(3));
     assert!(sim
@@ -134,7 +160,13 @@ fn lookups_resolve_within_latency_budget() {
         sim.now(),
         NodeId(3),
         NodeId(3),
-        KvMsg::Get { key, origin: NodeId(3), cookie: 55, ttl: 64, fin: false },
+        KvMsg::Get {
+            key,
+            origin: NodeId(3),
+            cookie: 55,
+            ttl: 64,
+            fin: false,
+        },
     );
     sim.run_until(sim.now() + SimDuration::from_secs(5));
     let r = sim

@@ -2,7 +2,7 @@
 //! and coordinator crashes under lookup load.
 
 use dco::core::chunk::ChunkSeq;
-use dco::core::proto::{DcoConfig, DcoProtocol};
+use dco::core::proto::{DcoConfig, DcoProtocol, TierMode};
 use dco::sim::prelude::*;
 
 fn build(cfg: DcoConfig, net: NetConfig, seed: u64) -> Simulator<DcoProtocol> {
@@ -30,9 +30,43 @@ fn dco_survives_control_message_loss() {
     net.faults.control_loss = 0.05;
     let mut sim = build(cfg, net, 31);
     sim.run_until(SimTime::from_secs(150));
-    let pct = sim.protocol().obs.received_percentage(SimTime::from_secs(150));
-    assert!(pct > 97.0, "lossy control plane broke the stream: {pct:.1}%");
+    let pct = sim
+        .protocol()
+        .obs
+        .received_percentage(SimTime::from_secs(150));
+    assert!(
+        pct > 97.0,
+        "lossy control plane broke the stream: {pct:.1}%"
+    );
     assert!(sim.counters().dropped_fault() > 0, "faults must have fired");
+}
+
+#[test]
+fn total_control_loss_stalls_without_panicking() {
+    // Edge case: 100% control loss. No lookup, registration or request
+    // ever arrives, so the swarm cannot spread chunks — but the engine
+    // must keep retiring timers to the horizon instead of panicking or
+    // spinning, and the loss must be visible in the fault counters.
+    let cfg = DcoConfig::paper_churn(16, 10);
+    let mut net = NetConfig::paper_model();
+    net.faults = FaultPlan::none();
+    net.faults.control_loss = 1.0;
+    let mut sim = build(cfg, net, 43);
+    sim.run_until(SimTime::from_secs(120));
+    let pct = sim
+        .protocol()
+        .obs
+        .received_percentage(SimTime::from_secs(120));
+    assert!(
+        pct < 50.0,
+        "with zero control delivery the stream cannot mostly spread: {pct:.1}%"
+    );
+    assert!(
+        sim.counters().dropped_fault() > 0,
+        "every control send must count as a fault drop"
+    );
+    // The run went the whole distance — the stall did not wedge the clock.
+    assert_eq!(sim.now(), SimTime::from_secs(120));
 }
 
 #[test]
@@ -43,7 +77,10 @@ fn dco_survives_data_loss_too() {
     net.faults.data_loss = 0.05;
     let mut sim = build(cfg, net, 33);
     sim.run_until(SimTime::from_secs(150));
-    let pct = sim.protocol().obs.received_percentage(SimTime::from_secs(150));
+    let pct = sim
+        .protocol()
+        .obs
+        .received_percentage(SimTime::from_secs(150));
     assert!(pct > 97.0, "lossy data plane broke the stream: {pct:.1}%");
 }
 
@@ -102,7 +139,55 @@ fn coordinator_crash_under_lookup_storm_reroutes() {
             }
         }
     }
-    assert_eq!(missing, 0, "survivors missing {missing} pairs after coordinator crash");
+    assert_eq!(
+        missing, 0,
+        "survivors missing {missing} pairs after coordinator crash"
+    );
+}
+
+#[test]
+fn coordinator_crash_mid_promotion_leaves_ring_healable() {
+    // Edge case for the hierarchical tier (§III): crash a coordinator
+    // right after a promotion check fires, while membership is in flux.
+    // Chord stabilization must absorb both the promotion and the crash,
+    // and the surviving audience must still receive the whole stream.
+    let mut cfg = DcoConfig::paper_churn(20, 20);
+    cfg.tier = TierMode::Hierarchical {
+        stable_threshold: 0.6,
+        overload_lookups: 10, // low bar: promotions actually trigger
+        check_every: SimDuration::from_secs(5),
+    };
+    let mut sim = build(cfg, NetConfig::paper_model(), 45);
+    // First promotion check fires at t = 5 s; kill the busiest ring
+    // member 100 ms later, mid-handoff.
+    sim.run_until(SimTime::from_millis(5_050));
+    let busiest = {
+        let p = sim.protocol();
+        (1..20u32)
+            .max_by_key(|&i| p.index_count(NodeId(i)))
+            .unwrap()
+    };
+    let busiest = NodeId(busiest);
+    sim.schedule_leave(busiest, SimTime::from_millis(5_100), false);
+    sim.run_until(SimTime::from_secs(150));
+    let p = sim.protocol();
+    let mut missing = 0;
+    for seq in 0..20u32 {
+        for node in 1..20u32 {
+            if NodeId(node) == busiest {
+                continue;
+            }
+            if p.obs.is_expected(seq, NodeId(node))
+                && p.obs.received_at(seq, NodeId(node)).is_none()
+            {
+                missing += 1;
+            }
+        }
+    }
+    assert_eq!(
+        missing, 0,
+        "survivors missing {missing} pairs after mid-promotion coordinator crash"
+    );
 }
 
 #[test]

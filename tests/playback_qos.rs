@@ -38,7 +38,11 @@ fn calm_network_plays_smoothly() {
     // Every viewer actually played the whole stream.
     for node in 1..24u32 {
         let r = replay(obs, NodeId(node), 0, 19, policy).expect("started");
-        assert_eq!(r.chunks_played, 20, "N{node} played {} chunks", r.chunks_played);
+        assert_eq!(
+            r.chunks_played, 20,
+            "N{node} played {} chunks",
+            r.chunks_played
+        );
     }
 }
 
