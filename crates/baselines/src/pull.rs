@@ -6,6 +6,7 @@
 //! chunk." Overhead = buffer-map exchanges + requests (+ miss replies).
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use dco_core::buffer::BufferMap;
 use dco_core::chunk::ChunkSeq;
@@ -18,8 +19,10 @@ use crate::mesh::MeshCore;
 /// Pull-mesh wire messages.
 #[derive(Clone, Debug)]
 pub enum PullMsg {
-    /// Periodic buffer-map advertisement.
-    Bufmap(BufferMap),
+    /// Periodic buffer-map advertisement. One snapshot is taken per
+    /// advertisement round and shared (`Rc`) across the per-neighbor sends
+    /// instead of deep-copied `k` times.
+    Bufmap(Rc<BufferMap>),
     /// "Send me chunk `seq`."
     Request {
         /// The chunk wanted.
@@ -62,8 +65,10 @@ pub enum PullTimer {
 
 struct PullNode {
     buffer: BufferMap,
-    /// Last advertised map per neighbor.
-    maps: HashMap<u32, BufferMap>,
+    /// Last advertised map per neighbor. Shared with the sender's other
+    /// receivers; copy-on-write ([`Rc::make_mut`]) on the rare local
+    /// corrections (miss replies, request timeouts).
+    maps: HashMap<u32, Rc<BufferMap>>,
     /// Outstanding requests: seq → provider.
     pending: HashMap<u32, NodeId>,
     /// Round-robin cursor over neighbors.
@@ -122,9 +127,9 @@ impl PullProtocol {
         let Some(st) = self.nodes[node.index()].as_ref() else {
             return;
         };
-        let snap = st.buffer.snapshot();
+        let snap = Rc::new(st.buffer.snapshot());
         for &nb in self.mesh.neighbors(node) {
-            ctx.send_control(node, nb, PullMsg::Bufmap(snap.clone()), "pull.bufmap");
+            ctx.send_control(node, nb, PullMsg::Bufmap(Rc::clone(&snap)), "pull.bufmap");
         }
     }
 
@@ -132,13 +137,15 @@ impl PullProtocol {
         let Some(latest) = self.latest(ctx.now()) else {
             return;
         };
-        let neighbors: Vec<NodeId> = self.mesh.neighbors(node).to_vec();
+        // Direct field borrows so the mesh's neighbor slice can be walked
+        // while the node state is mutated — no per-tick neighbor copy.
+        let neighbors = self.mesh.neighbors(node);
         if neighbors.is_empty() {
             return;
         }
         let timeout = self.cfg.request_timeout;
         let max_inflight = self.cfg.max_inflight;
-        let Some(st) = self.state_mut(node) else {
+        let Some(st) = self.nodes.get_mut(node.index()).and_then(Option::as_mut) else {
             return;
         };
         if latest < st.first_seq {
@@ -153,51 +160,46 @@ impl PullProtocol {
         // budget remains — a rejoining viewer keeps up with the broadcast
         // while repairing its history.
         let session_start = st.session_seq.max(st.first_seq);
-        let mut missing: Vec<ChunkSeq> = st
-            .buffer
-            .missing_in(session_start, latest)
-            .into_iter()
-            .filter(|s| !st.pending.contains_key(&s.0))
-            .collect();
-        if session_start > st.first_seq {
-            missing.extend(
-                st.buffer
-                    .missing_in(st.first_seq, ChunkSeq(session_start.0 - 1))
-                    .into_iter()
-                    .filter(|s| !st.pending.contains_key(&s.0)),
-            );
-        }
+        let history_end = ChunkSeq(session_start.0.wrapping_sub(1));
+        let buffer = &st.buffer;
+        let maps = &st.maps;
+        let pending = &mut st.pending;
+        let cursor = &mut st.cursor;
         let mut issued = 0usize;
-        let mut requests = Vec::new();
-        for seq in missing {
+        let session = buffer.missing_in_iter(session_start, latest);
+        let history = (session_start > st.first_seq)
+            .then(|| buffer.missing_in_iter(st.first_seq, history_end))
+            .into_iter()
+            .flatten();
+        for seq in session.chain(history) {
             if issued >= budget {
                 break;
+            }
+            if pending.contains_key(&seq.0) {
+                continue;
             }
             // Round-robin over neighbors until one advertises the chunk.
             let n = neighbors.len();
             let mut chosen = None;
             for off in 0..n {
-                let cand = neighbors[(st.cursor + off) % n];
-                let has = st.maps.get(&cand.0).map(|m| m.has(seq)).unwrap_or(false);
+                let cand = neighbors[(*cursor + off) % n];
+                let has = maps.get(&cand.0).map(|m| m.has(seq)).unwrap_or(false);
                 if has {
                     chosen = Some(cand);
-                    st.cursor = (st.cursor + off + 1) % n;
+                    *cursor = (*cursor + off + 1) % n;
                     break;
                 }
             }
             if let Some(p) = chosen {
-                st.pending.insert(seq.0, p);
-                requests.push((seq, p));
+                pending.insert(seq.0, p);
                 issued += 1;
+                ctx.send_control(node, p, PullMsg::Request { seq }, "pull.request");
+                ctx.set_timer(
+                    node,
+                    timeout,
+                    PullTimer::RequestTimeout { seq, provider: p },
+                );
             }
-        }
-        for (seq, p) in requests {
-            ctx.send_control(node, p, PullMsg::Request { seq }, "pull.request");
-            ctx.set_timer(
-                node,
-                timeout,
-                PullTimer::RequestTimeout { seq, provider: p },
-            );
         }
     }
 }
@@ -267,9 +269,10 @@ impl Protocol for PullProtocol {
                 if let Some(st) = self.state_mut(node) {
                     st.pending.remove(&seq.0);
                     // The advertised map was stale; drop the bit so the
-                    // round-robin moves on.
+                    // round-robin moves on (copy-on-write: the sender's
+                    // other receivers keep the shared original).
                     if let Some(m) = st.maps.get_mut(&from.0) {
-                        m.remove(seq);
+                        Rc::make_mut(m).remove(seq);
                     }
                 }
             }
@@ -321,7 +324,7 @@ impl Protocol for PullProtocol {
                         // Assume the neighbor is gone or useless for this
                         // chunk; forget its advertisement.
                         if let Some(m) = st.maps.get_mut(&provider.0) {
-                            m.remove(seq);
+                            Rc::make_mut(m).remove(seq);
                         }
                     }
                 }
@@ -337,7 +340,7 @@ impl Protocol for PullProtocol {
         for (bereaved, replacement) in repairs {
             if let Some(st) = self.state_mut(bereaved) {
                 st.maps.remove(&node.0);
-                let snap = st.buffer.snapshot();
+                let snap = Rc::new(st.buffer.snapshot());
                 ctx.send_control(bereaved, replacement, PullMsg::Bufmap(snap), "pull.bufmap");
             }
         }

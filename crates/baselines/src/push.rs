@@ -8,6 +8,7 @@
 //! characteristic overhead in the paper.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use dco_core::buffer::BufferMap;
 use dco_core::chunk::ChunkSeq;
@@ -20,8 +21,9 @@ use crate::mesh::MeshCore;
 /// Push-mesh wire messages.
 #[derive(Clone, Debug)]
 pub enum PushMsg {
-    /// Periodic buffer-map advertisement.
-    Bufmap(BufferMap),
+    /// Periodic buffer-map advertisement. One snapshot per round, shared
+    /// (`Rc`) across the per-neighbor sends instead of deep-copied.
+    Bufmap(Rc<BufferMap>),
     /// The chunk payload (data class).
     Data {
         /// The chunk carried.
@@ -171,13 +173,15 @@ impl PushProtocol {
         const RELAY_FANOUT: usize = 3;
         let busy_cap = self.cfg.busy_backlog;
         let chunk_size = self.cfg.chunk_size;
-        let neighbors: Vec<NodeId> = self.mesh.neighbors(node).to_vec();
+        // Direct field borrows: the mesh's neighbor slice stays borrowed
+        // while the node state is mutated — no per-relay neighbor copy.
+        let neighbors = self.mesh.neighbors(node);
         if neighbors.is_empty() {
             return;
         }
         let mut sent = 0u64;
         {
-            let Some(st) = self.state_mut(node) else {
+            let Some(st) = self.nodes.get_mut(node.index()).and_then(Option::as_mut) else {
                 return;
             };
             let start = st.cursor % neighbors.len();
@@ -224,10 +228,7 @@ impl Protocol for PushProtocol {
                 // download queue and must not be pushed again just because
                 // they are not in its map yet.
                 if let Some(st) = self.state_mut(node) {
-                    let view = st.views.entry(from.0).or_default();
-                    for seq in map.iter_held() {
-                        view.insert(seq);
-                    }
+                    st.views.entry(from.0).or_default().union_with(&map);
                 }
                 self.push_to(node, from, 2, ctx);
             }
@@ -280,10 +281,15 @@ impl Protocol for PushProtocol {
             PushTimer::BufmapTick => {
                 let snap = self.nodes[node.index()]
                     .as_ref()
-                    .map(|s| s.buffer.snapshot());
+                    .map(|s| Rc::new(s.buffer.snapshot()));
                 if let Some(snap) = snap {
-                    for nb in self.mesh.neighbors(node).to_vec() {
-                        ctx.send_control(node, nb, PushMsg::Bufmap(snap.clone()), "push.bufmap");
+                    for &nb in self.mesh.neighbors(node) {
+                        ctx.send_control(
+                            node,
+                            nb,
+                            PushMsg::Bufmap(Rc::clone(&snap)),
+                            "push.bufmap",
+                        );
                     }
                 }
                 ctx.set_timer(node, self.cfg.bufmap_every, PushTimer::BufmapTick);
@@ -297,7 +303,7 @@ impl Protocol for PushProtocol {
         for (bereaved, replacement) in repairs {
             if let Some(st) = self.state_mut(bereaved) {
                 st.views.remove(&node.0);
-                let snap = st.buffer.snapshot();
+                let snap = Rc::new(st.buffer.snapshot());
                 ctx.send_control(bereaved, replacement, PushMsg::Bufmap(snap), "push.bufmap");
             }
         }

@@ -9,7 +9,7 @@ use dco_bench::timing::{bench, header};
 use dco_core::buffer::BufferMap;
 use dco_core::chunk::ChunkSeq;
 use dco_core::index::{ChunkIndex, IndexTable, SelectPolicy};
-use dco_dht::chord::{ChordConfig, ChordNet, RouteDecision};
+use dco_dht::chord::{ChordConfig, ChordNet, RouteDecision, RouteStep};
 use dco_dht::hash::{hash_name, hash_node};
 use dco_dht::id::{ChordId, Peer};
 use dco_sim::net::Kbps;
@@ -57,6 +57,39 @@ fn bench_chord_routing() {
                 RouteDecision::DeliverAt(_) => break,
                 RouteDecision::Forward(p) => {
                     at = p.node;
+                    hops += 1;
+                }
+            }
+        }
+        hops
+    });
+    // The memoized variant the DCO hop-by-hop hot path uses. Keys repeat
+    // (as stream chunk names do), so after warm-up each hop is one probe
+    // of the per-node decision row.
+    let mut net = net;
+    let keys: Vec<ChordId> = {
+        let mut rng = SimRng::seed_from_u64(2);
+        (0..100).map(|_| ChordId(rng.gen())).collect()
+    };
+    // Warm every (node, key) decision so the bench measures steady state,
+    // which is what the simulation hot loop sees after the first pass of
+    // each chunk through the ring.
+    for &key in &keys {
+        for node in 0..512u32 {
+            net.route_next_cached(NodeId(node), key);
+        }
+    }
+    let mut rng = SimRng::seed_from_u64(3);
+    bench("chord/route_walk_512_cached", 1000, || {
+        let key = keys[rng.gen_range(0..keys.len())];
+        let mut at = NodeId(rng.gen_range(0..512u32));
+        let mut hops = 0u32;
+        loop {
+            match net.route_next_cached(at, key).unwrap() {
+                RouteStep::Deliver => break,
+                RouteStep::DeliverAt(_) => break,
+                RouteStep::Forward(n) => {
+                    at = n;
                     hops += 1;
                 }
             }

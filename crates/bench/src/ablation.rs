@@ -57,7 +57,12 @@ fn run_variant(v: &Variant, scale: &FigScale, seed: u64, churn: bool) -> Ablatio
     } else {
         SimTime::from_secs(scale.static_horizon)
     };
-    let mut sim = Simulator::new(DcoProtocol::new(v.cfg.clone()), v.net.clone(), seed);
+    let mut sim = Simulator::with_capacity(
+        DcoProtocol::new(v.cfg.clone()),
+        v.net.clone(),
+        seed,
+        scenario.n_nodes as usize,
+    );
     scenario.install(&mut sim);
     sim.run_until(scenario.horizon);
     let p = sim.protocol();

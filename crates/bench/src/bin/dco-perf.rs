@@ -1,0 +1,345 @@
+//! `dco-perf` — the recorded performance baseline of the simulator core.
+//!
+//! Times the figures workload (§IV parameters — 100 chunks, 32 neighbors,
+//! 200 s horizon, static DCO ring — with the population scaled up) and
+//! writes `BENCH_sim_core.json` in a `dco-perf/v1` schema modelled on the
+//! sweep report's `dco-sweep/v1`. The committed JSON carries both the
+//! pre-optimization baseline (pinned in [`PRE_PR_BASELINE`], measured on
+//! the seed engine with this same harness) and the current measurement, so
+//! later PRs have a trajectory to beat.
+//!
+//! ```text
+//! dco-perf [--populations 1000,5000,10000] [--runs 5]
+//!          [--out BENCH_sim_core.json] [--label NAME] [--stdout]
+//! dco-perf --digests      # golden trace-digest table for tests/determinism.rs
+//! ```
+//!
+//! Every run also records its trace digest: static DCO runs are
+//! deterministic, so the digest per population doubles as a cross-engine
+//! determinism check (an optimized engine must reproduce it bit-for-bit).
+
+use std::process::ExitCode;
+
+use dco_bench::sweep::json::Json;
+use dco_bench::{run_with_stats, Method, RunParams};
+use dco_sim::counters::perf::{CountingAlloc, PerfMeter, PerfSample};
+use dco_sim::time::{SimDuration, SimTime};
+use dco_workload::{ChurnConfig, ScenarioGrid};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Medians measured on the pre-PR engine (binary-heap calendar, deep-copy
+/// fan-out, BTreeMap DHT stores) with this harness: `(n_nodes,
+/// wall_ms_median, events, trace_digest)`. Regenerate by checking out the
+/// commit before the hot-path overhaul and running `dco-perf --stdout`.
+const PRE_PR_BASELINE: &[(u32, f64, u64, u64)] = &[
+    (1_000, 3596.764587, 7_258_472, 0xfedd_21ae_0462_f672),
+    (5_000, 42267.476771, 42_659_350, 0xabe2_aa4c_859a_84cc),
+    (10_000, 141439.299442, 91_365_887, 0x10ef_10a0_8935_a8b8),
+];
+
+const PRE_PR_LABEL: &str = "pre-pr2-seed-engine";
+const DEFAULT_POPULATIONS: [u32; 3] = [1_000, 5_000, 10_000];
+const DEFAULT_RUNS: usize = 5;
+const DEFAULT_OUT: &str = "BENCH_sim_core.json";
+
+/// The figures workload at population `n`: §IV defaults with the node
+/// count overridden and the seed fixed (static DCO is seed-invariant).
+fn figures_params(n_nodes: u32) -> RunParams {
+    let mut p = RunParams::paper_default(42);
+    p.n_nodes = n_nodes;
+    p
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+struct PopulationReport {
+    n_nodes: u32,
+    samples: Vec<PerfSample>,
+    trace_digest: u64,
+}
+
+fn measure_population(n_nodes: u32, runs: usize) -> PopulationReport {
+    let params = figures_params(n_nodes);
+    let mut samples = Vec::with_capacity(runs);
+    let mut trace_digest = None;
+    for run in 0..runs {
+        let meter = PerfMeter::start();
+        let stats = run_with_stats(Method::Dco, &params);
+        let sample = meter.finish(stats.proof.events);
+        eprintln!(
+            "  n={n_nodes} run {}/{}: {:.1} ms, {} events ({:.2} Mev/s), {} allocs",
+            run + 1,
+            runs,
+            sample.wall_ms(),
+            sample.events,
+            sample.events_per_sec() / 1e6,
+            sample.alloc.allocs,
+        );
+        match trace_digest {
+            None => trace_digest = Some(stats.proof.trace_digest),
+            Some(d) => assert_eq!(
+                d, stats.proof.trace_digest,
+                "n={n_nodes}: repeat run diverged — determinism bug"
+            ),
+        }
+        samples.push(sample);
+    }
+    PopulationReport {
+        n_nodes,
+        samples,
+        trace_digest: trace_digest.expect("runs >= 1"),
+    }
+}
+
+fn population_json(rep: &PopulationReport) -> Json {
+    let mut wall: Vec<f64> = rep.samples.iter().map(|s| s.wall_ms()).collect();
+    let runs_json = Json::Arr(wall.iter().map(|w| Json::Num(*w)).collect());
+    let wall_median = median(&mut wall);
+    let wall_min = wall.first().copied().unwrap_or(0.0);
+    let wall_mean = wall.iter().sum::<f64>() / wall.len().max(1) as f64;
+    let events = rep.samples.first().map(|s| s.events).unwrap_or(0);
+    let events_per_sec = if wall_median > 0.0 {
+        events as f64 / (wall_median / 1e3)
+    } else {
+        0.0
+    };
+    let allocs = rep
+        .samples
+        .iter()
+        .map(|s| s.alloc.allocs)
+        .min()
+        .unwrap_or(0);
+    let alloc_bytes = rep.samples.iter().map(|s| s.alloc.bytes).min().unwrap_or(0);
+    let baseline = PRE_PR_BASELINE.iter().find(|(n, ..)| *n == rep.n_nodes);
+    let mut pairs = vec![
+        ("n_nodes", Json::Int(u64::from(rep.n_nodes))),
+        ("wall_ms_median", Json::Num(wall_median)),
+        ("wall_ms_min", Json::Num(wall_min)),
+        ("wall_ms_mean", Json::Num(wall_mean)),
+        ("wall_ms_runs", runs_json),
+        ("events", Json::Int(events)),
+        ("events_per_sec_median", Json::Num(events_per_sec)),
+        ("allocs_min", Json::Int(allocs)),
+        ("alloc_bytes_min", Json::Int(alloc_bytes)),
+        ("trace_digest", Json::hex(rep.trace_digest)),
+    ];
+    if let Some((_, base_ms, base_events, base_digest)) = baseline {
+        pairs.push(("baseline_wall_ms_median", Json::Num(*base_ms)));
+        pairs.push((
+            "speedup_vs_baseline",
+            if wall_median > 0.0 {
+                Json::Num(base_ms / wall_median)
+            } else {
+                Json::Null
+            },
+        ));
+        pairs.push((
+            "events_match_baseline",
+            Json::Bool(*base_events == 0 || *base_events == events),
+        ));
+        pairs.push((
+            "trace_digest_matches_baseline",
+            Json::Bool(*base_digest == 0 || *base_digest == rep.trace_digest),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+fn baseline_json() -> Json {
+    Json::obj(vec![
+        ("label", Json::str(PRE_PR_LABEL)),
+        (
+            "populations",
+            Json::Arr(
+                PRE_PR_BASELINE
+                    .iter()
+                    .map(|(n, ms, events, digest)| {
+                        Json::obj(vec![
+                            ("n_nodes", Json::Int(u64::from(*n))),
+                            ("wall_ms_median", Json::Num(*ms)),
+                            ("events", Json::Int(*events)),
+                            ("trace_digest", Json::hex(*digest)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn report_json(label: &str, runs: usize, reports: &[PopulationReport]) -> Json {
+    let params = figures_params(0);
+    Json::obj(vec![
+        ("schema", Json::str("dco-perf/v1")),
+        (
+            "scenario",
+            Json::obj(vec![
+                ("method", Json::str("DCO")),
+                ("n_chunks", Json::Int(u64::from(params.n_chunks))),
+                ("neighbors", Json::Int(params.neighbors as u64)),
+                ("horizon_s", Json::Int(params.horizon.as_secs())),
+                ("seed", Json::Int(params.seed)),
+                ("churn", Json::Bool(false)),
+            ]),
+        ),
+        ("runs_per_population", Json::Int(runs as u64)),
+        ("baseline", baseline_json()),
+        (
+            "current",
+            Json::obj(vec![
+                ("label", Json::str(label)),
+                (
+                    "populations",
+                    Json::Arr(reports.iter().map(population_json).collect()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Prints the golden trace-digest table for the five cross-protocol seeds:
+/// every method, with and without churn, on the small determinism cell.
+/// The output is the Rust table pinned in `tests/determinism.rs`.
+fn print_digest_table() {
+    let seeds = ScenarioGrid::seed_list(0xC2055, 5);
+    println!("const GOLDEN_DIGESTS: &[(&str, bool, u64, u64)] = &[");
+    for method in [
+        Method::Dco,
+        Method::Pull,
+        Method::Push,
+        Method::Tree,
+        Method::TreeStar,
+    ] {
+        for churn in [false, true] {
+            for &seed in &seeds {
+                let params = RunParams {
+                    n_nodes: 20,
+                    n_chunks: 8,
+                    neighbors: 8,
+                    churn: churn.then(|| ChurnConfig::paper_fig12(25)),
+                    horizon: SimTime::from_secs(50),
+                    tree_degree: Some(2),
+                    fill_offset: SimDuration::from_secs(5),
+                    seed,
+                };
+                let stats = run_with_stats(method, &params);
+                println!(
+                    "    ({:?}, {churn}, {seed:#x}, {:#018x}),",
+                    method.label(),
+                    stats.proof.trace_digest
+                );
+            }
+        }
+    }
+    println!("];");
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        populations: DEFAULT_POPULATIONS.to_vec(),
+        runs: DEFAULT_RUNS,
+        out: DEFAULT_OUT.to_string(),
+        label: "current".to_string(),
+        stdout: false,
+        digests: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--populations" => {
+                args.populations = value("--populations")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<u32>().map_err(|e| format!("{s}: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--runs" => {
+                args.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--label" => args.label = value("--label")?,
+            "--stdout" => args.stdout = true,
+            "--digests" => args.digests = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.runs == 0 || args.populations.is_empty() {
+        return Err("need at least one run and one population".to_string());
+    }
+    Ok(args)
+}
+
+struct Args {
+    populations: Vec<u32>,
+    runs: usize,
+    out: String,
+    label: String,
+    stdout: bool,
+    digests: bool,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dco-perf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.digests {
+        print_digest_table();
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "dco-perf: figures workload, populations {:?}, {} runs each",
+        args.populations, args.runs
+    );
+    let reports: Vec<PopulationReport> = args
+        .populations
+        .iter()
+        .map(|&n| measure_population(n, args.runs))
+        .collect();
+    let json = report_json(&args.label, args.runs, &reports).render_pretty();
+    if args.stdout {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("dco-perf: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("dco-perf: wrote {}", args.out);
+    }
+    for rep in &reports {
+        let mut wall: Vec<f64> = rep.samples.iter().map(|s| s.wall_ms()).collect();
+        let med = median(&mut wall);
+        let base = PRE_PR_BASELINE
+            .iter()
+            .find(|(n, ..)| *n == rep.n_nodes)
+            .map(|(_, ms, ..)| *ms);
+        match base {
+            Some(b) if med > 0.0 => {
+                eprintln!(
+                    "  n={}: median {med:.1} ms ({:.2}x vs baseline)",
+                    rep.n_nodes,
+                    b / med
+                )
+            }
+            _ => eprintln!("  n={}: median {med:.1} ms", rep.n_nodes),
+        }
+    }
+    ExitCode::SUCCESS
+}

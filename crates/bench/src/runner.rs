@@ -180,7 +180,12 @@ fn extract<P: Protocol>(
 
 fn install_and_run<P: Protocol>(params: &RunParams, protocol: P) -> (Simulator<P>, Scenario) {
     let scenario = params.scenario();
-    let mut sim = Simulator::new(protocol, NetConfig::paper_model(), params.seed);
+    let mut sim = Simulator::with_capacity(
+        protocol,
+        NetConfig::paper_model(),
+        params.seed,
+        params.n_nodes as usize,
+    );
     scenario.install(&mut sim);
     sim.run_until(params.horizon);
     (sim, scenario)

@@ -92,12 +92,60 @@ impl BufferMap {
         })
     }
 
+    /// The word at index `wi`, treating anything past the allocation as
+    /// all-zeros (not held).
+    #[inline]
+    fn word(&self, wi: usize) -> u64 {
+        self.words.get(wi).copied().unwrap_or(0)
+    }
+
+    /// Iterates the set bits of `f(wi)` restricted to `[from, to]`, in
+    /// increasing order — the shared word-at-a-time kernel behind the range
+    /// scans below.
+    fn range_bits<'a>(
+        from: ChunkSeq,
+        to: ChunkSeq,
+        f: impl Fn(usize) -> u64 + 'a,
+    ) -> impl Iterator<Item = ChunkSeq> + 'a {
+        // An inverted range (`from > to`) is naturally empty: across words
+        // `w_lo..=w_hi` yields nothing, and within one word the two edge
+        // masks below are disjoint.
+        let (lo, hi) = (from.index(), to.index());
+        let (w_lo, w_hi) = (lo / 64, hi / 64);
+        (w_lo..=w_hi).flat_map(move |wi| {
+            let mut bits = f(wi);
+            if wi == w_lo {
+                bits &= !0u64 << (lo % 64);
+            }
+            if wi == w_hi && hi % 64 < 63 {
+                bits &= (1u64 << (hi % 64 + 1)) - 1;
+            }
+            core::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(ChunkSeq((wi * 64) as u32 + b))
+                }
+            })
+        })
+    }
+
+    /// Iterates the missing chunks in `[from, to]` in order, one bitmap
+    /// word at a time — the allocation-free form of
+    /// [`BufferMap::missing_in`] for per-tick scan loops.
+    pub fn missing_in_iter(
+        &self,
+        from: ChunkSeq,
+        to: ChunkSeq,
+    ) -> impl Iterator<Item = ChunkSeq> + '_ {
+        Self::range_bits(from, to, |wi| !self.word(wi))
+    }
+
     /// The missing chunks in `[from, to]`, in order.
     pub fn missing_in(&self, from: ChunkSeq, to: ChunkSeq) -> Vec<ChunkSeq> {
-        (from.0..=to.0)
-            .map(ChunkSeq)
-            .filter(|&s| !self.has(s))
-            .collect()
+        self.missing_in_iter(from, to).collect()
     }
 
     /// Chunks held here that `other` is missing, restricted to `[from, to]`
@@ -108,23 +156,45 @@ impl BufferMap {
         from: ChunkSeq,
         to: ChunkSeq,
     ) -> Vec<ChunkSeq> {
-        (from.0..=to.0)
-            .map(ChunkSeq)
-            .filter(|&s| self.has(s) && !other.has(s))
-            .collect()
+        Self::range_bits(from, to, |wi| self.word(wi) & !other.word(wi)).collect()
     }
 
     /// Buffering level: the number of **consecutive** held chunks starting
     /// at `playhead` — the paper's streaming-quality covariate for the
-    /// longevity model (§III-B1a).
+    /// longevity model (§III-B1a). Counted a word at a time.
     pub fn buffering_level(&self, playhead: ChunkSeq) -> u32 {
-        let mut n = 0;
-        let mut s = playhead;
-        while self.has(s) {
-            n += 1;
-            s = s.next();
+        let mut i = playhead.index();
+        let mut n = 0u32;
+        loop {
+            let Some(&w) = self.words.get(i / 64) else {
+                return n;
+            };
+            let off = (i % 64) as u32;
+            // Zeros of `w >> off` are the first break in the run; the shift
+            // feeds zeros in at the top, so the run can't overrun the word.
+            let run = (!(w >> off)).trailing_zeros();
+            n += run;
+            if run < 64 - off {
+                return n;
+            }
+            i += run as usize;
         }
-        n
+    }
+
+    /// Merges every chunk held by `other` into this map (word-level OR) —
+    /// equivalent to inserting each of `other.iter_held()` one by one.
+    pub fn union_with(&mut self, other: &BufferMap) {
+        // Grow only to the other's last *set* word, so the union's
+        // representation matches what element-wise inserts would build
+        // (insert grows lazily; derived equality compares the word vec).
+        let needed = other.words.len() - other.words.iter().rev().take_while(|&&w| w == 0).count();
+        if needed > self.words.len() {
+            self.words.resize(needed, 0);
+        }
+        for (w, &ow) in self.words.iter_mut().zip(&other.words) {
+            *w |= ow;
+        }
+        self.held = self.words.iter().map(|w| w.count_ones() as usize).sum();
     }
 
     /// A compact wire copy of the bitmap (what mesh nodes exchange).
@@ -209,6 +279,82 @@ mod tests {
         assert_eq!(m.buffering_level(c(5)), 3, "5,6,7 then gap at 8");
         assert_eq!(m.buffering_level(c(8)), 0);
         assert_eq!(m.buffering_level(c(9)), 1);
+    }
+
+    #[test]
+    fn missing_matches_naive_scan_across_word_boundaries() {
+        let mut m = BufferMap::new(200);
+        for s in [0u32, 1, 63, 64, 65, 127, 128, 130, 190] {
+            m.insert(c(s));
+        }
+        for (lo, hi) in [(0, 199), (60, 70), (63, 64), (5, 5), (120, 140), (190, 260)] {
+            let naive: Vec<u32> = (lo..=hi).filter(|&s| !m.has(c(s))).collect();
+            let fast: Vec<u32> = m.missing_in(c(lo), c(hi)).iter().map(|s| s.0).collect();
+            assert_eq!(fast, naive, "range [{lo}, {hi}]");
+            let it: Vec<u32> = m.missing_in_iter(c(lo), c(hi)).map(|s| s.0).collect();
+            assert_eq!(it, naive, "iter form, range [{lo}, {hi}]");
+        }
+        assert!(m.missing_in(c(10), c(5)).is_empty(), "inverted range");
+    }
+
+    #[test]
+    fn offer_matches_naive_scan_across_word_boundaries() {
+        let mut mine = BufferMap::new(200);
+        let mut theirs = BufferMap::new(200);
+        for s in [0u32, 5, 63, 64, 100, 130, 131] {
+            mine.insert(c(s));
+        }
+        for s in [5u32, 64, 131] {
+            theirs.insert(c(s));
+        }
+        for (lo, hi) in [(0, 199), (60, 70), (100, 131), (132, 150)] {
+            let naive: Vec<u32> = (lo..=hi)
+                .filter(|&s| mine.has(c(s)) && !theirs.has(c(s)))
+                .collect();
+            let fast: Vec<u32> = mine
+                .held_that_other_misses(&theirs, c(lo), c(hi))
+                .iter()
+                .map(|s| s.0)
+                .collect();
+            assert_eq!(fast, naive, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn buffering_level_spans_words() {
+        let mut m = BufferMap::new(300);
+        for s in 10..200u32 {
+            m.insert(c(s));
+        }
+        assert_eq!(m.buffering_level(c(10)), 190);
+        assert_eq!(m.buffering_level(c(64)), 136);
+        assert_eq!(m.buffering_level(c(199)), 1);
+        assert_eq!(m.buffering_level(c(200)), 0);
+        // A run that ends exactly at the allocation boundary.
+        let mut full = BufferMap::new(64);
+        for s in 0..64u32 {
+            full.insert(c(s));
+        }
+        assert_eq!(full.buffering_level(c(0)), 64);
+    }
+
+    #[test]
+    fn union_matches_elementwise_insert() {
+        let mut a = BufferMap::new(100);
+        let mut b = BufferMap::new(200);
+        for s in [1u32, 64, 65] {
+            a.insert(c(s));
+        }
+        for s in [1u32, 2, 150] {
+            b.insert(c(s));
+        }
+        let mut naive = a.clone();
+        for s in b.iter_held() {
+            naive.insert(s);
+        }
+        a.union_with(&b);
+        assert_eq!(a, naive);
+        assert_eq!(a.held_count(), 5);
     }
 
     #[test]

@@ -34,6 +34,19 @@ pub struct ChunkIndex {
     pub held_count: u32,
 }
 
+// Placeholder row for the store's inline small-vec slots; never observed
+// (the store only exposes `vals[..len]`).
+impl Default for ChunkIndex {
+    fn default() -> Self {
+        ChunkIndex {
+            seq: ChunkSeq(0),
+            holder: NodeId(0),
+            avail: Kbps(0),
+            held_count: 0,
+        }
+    }
+}
+
 /// Provider-selection policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SelectPolicy {
@@ -50,12 +63,207 @@ pub enum SelectPolicy {
     LeastLoaded,
 }
 
+/// Largest exclusion list served by the O(1) selection fast path. The
+/// protocol excludes at most the requester and one dead provider; anything
+/// longer falls back to the (equivalent) scanning path.
+const MAX_FAST_EXCLUDE: usize = 2;
+/// Entries tracked for degraded-mode selection. Deletions shrink the
+/// tracked prefix, so it is kept comfortably larger than
+/// `MAX_FAST_EXCLUDE + 1` to make refill rebuilds rare.
+const TOP_K: usize = 8;
+
+/// Tombstoned positions tolerated before the per-key state is rebuilt
+/// from scratch. Amortizes the rebuild across that many removals while
+/// keeping the position-translation walk a few cache lines.
+const MAX_DELETED: usize = 64;
+
+/// Per-key acceleration state. At scale a chunk's provider list approaches
+/// the whole population, and the figures workload issues millions of
+/// selections, registrations and failure-driven removals against it —
+/// linear scans over those lists dominate the simulator's wall clock. This
+/// index answers each in O(1) cache lines while reproducing the scanning
+/// semantics bit-for-bit.
+///
+/// Positions are **virtual**: assigned once at registration and never
+/// shifted by removals. A removal only records its virtual position in the
+/// sorted `deleted` list; the physical index of a live entry is its
+/// virtual position minus the deleted positions below it. Virtual order
+/// equals physical order for live entries, so rank arithmetic (round-robin
+/// selection, sufficiency counting) works directly on virtual positions.
+#[derive(Clone, Debug)]
+struct KeyAux {
+    /// Holder → virtual position. Maintained unconditionally.
+    pos: std::collections::HashMap<u32, u32>,
+    /// Virtual positions removed since the last rebuild, ascending.
+    deleted: Vec<u32>,
+    /// Virtual position for the next registration.
+    virt_len: u32,
+    /// The bandwidth floor `suff`/`top` were built for (selection passes a
+    /// constant floor in practice; a change forces one rebuild).
+    floor: Option<Kbps>,
+    /// Virtual positions of entries with `avail >= floor`, ascending.
+    suff: Vec<u32>,
+    /// The best live entries by `(avail, virtual position)`, descending.
+    /// Invariant: exactly the live entries ranking above `top_bound` (all
+    /// of them when `top_bound` is `None`), so the array is always a
+    /// correct prefix of the full ranking even after deletions shrink it.
+    top: [(Kbps, u32); TOP_K],
+    top_len: u8,
+    /// Eviction watermark: entries at or below this rank once fell off the
+    /// array, so the array only covers the ranking above it.
+    top_bound: Option<(Kbps, u32)>,
+}
+
+impl Default for KeyAux {
+    fn default() -> Self {
+        KeyAux {
+            pos: std::collections::HashMap::new(),
+            deleted: Vec::new(),
+            virt_len: 0,
+            floor: None,
+            suff: Vec::new(),
+            top: [(Kbps(0), 0); TOP_K],
+            top_len: 0,
+            top_bound: None,
+        }
+    }
+}
+
+impl KeyAux {
+    /// Builds the holder→position map for `entries` (floor fields unbuilt).
+    fn from_entries(entries: &[ChunkIndex]) -> Self {
+        let mut aux = KeyAux {
+            virt_len: entries.len() as u32,
+            ..KeyAux::default()
+        };
+        for (p, e) in entries.iter().enumerate() {
+            aux.pos.insert(e.holder.0, p as u32);
+        }
+        aux
+    }
+
+    /// Physical index of the live entry at virtual position `virt`.
+    fn physical(&self, virt: u32) -> usize {
+        virt as usize - self.deleted.partition_point(|&d| d < virt)
+    }
+
+    /// (Re)builds the floor-dependent fields for `floor`. Entries are
+    /// walked physically while reconstructing virtual coordinates.
+    fn rebuild_for(&mut self, entries: &[ChunkIndex], floor: Kbps) {
+        self.floor = Some(floor);
+        self.suff.clear();
+        self.top_len = 0;
+        self.top_bound = None;
+        let mut del = 0usize;
+        let mut virt = 0u32;
+        for e in entries {
+            while self.deleted.get(del) == Some(&virt) {
+                del += 1;
+                virt += 1;
+            }
+            if e.avail >= floor {
+                self.suff.push(virt);
+            }
+            self.top_insert(e.avail, virt);
+            virt += 1;
+        }
+    }
+
+    /// Registers a new tail entry, returning its virtual position.
+    fn push_entry(&mut self, holder: NodeId, avail: Kbps) -> u32 {
+        let virt = self.virt_len;
+        self.virt_len += 1;
+        self.pos.insert(holder.0, virt);
+        if let Some(f) = self.floor {
+            if avail >= f {
+                self.suff.push(virt);
+            }
+            self.top_insert(avail, virt);
+        }
+        virt
+    }
+
+    /// Tombstones the entry at virtual position `virt` (already absent
+    /// from `pos`). Returns `false` when the tombstone budget is exhausted
+    /// and the caller should drop the aux instead.
+    fn delete(&mut self, virt: u32, avail: Kbps) -> bool {
+        if self.deleted.len() >= MAX_DELETED {
+            return false;
+        }
+        let at = self.deleted.partition_point(|&d| d < virt);
+        self.deleted.insert(at, virt);
+        if let Some(f) = self.floor {
+            if avail >= f {
+                let r = self.suff.binary_search(&virt).expect("sufficient position");
+                self.suff.remove(r);
+            }
+            // Shrink the top prefix: the remaining array is still exactly
+            // the live ranking above `top_bound`.
+            let len = self.top_len as usize;
+            if let Some(i) = self.top[..len].iter().position(|&(_, p)| p == virt) {
+                self.top.copy_within(i + 1..len, i);
+                self.top_len -= 1;
+            }
+        }
+        true
+    }
+
+    /// Inserts into the descending `(avail, position)` top prefix,
+    /// evicting (and recording) the overflowing tail entry.
+    fn top_insert(&mut self, avail: Kbps, p: u32) {
+        let key = (avail, p);
+        if let Some(b) = self.top_bound {
+            if key < b {
+                return; // Below the watermark; the prefix is unaffected.
+            }
+        }
+        let len = self.top_len as usize;
+        if len == TOP_K {
+            let evicted = self.top[TOP_K - 1];
+            if key < evicted {
+                self.top_bound = Some(key.max(self.top_bound.unwrap_or(key)));
+                return;
+            }
+            self.top_bound = Some(evicted);
+        }
+        let mut i = len.min(TOP_K - 1);
+        while i > 0 && (self.top[i - 1].0, self.top[i - 1].1) < key {
+            self.top[i] = self.top[i - 1];
+            i -= 1;
+        }
+        self.top[i] = (avail, p);
+        self.top_len = (len + 1).min(TOP_K) as u8;
+    }
+
+    /// Degraded-mode pick: the maximal `(avail, virtual position)` among
+    /// live entries not in `ex`. `None` means the tracked prefix was
+    /// exhausted and the caller must rebuild first.
+    fn degraded_pick(&self, ex: &[u32]) -> Option<u32> {
+        let found = self.top[..self.top_len as usize]
+            .iter()
+            .find(|(_, p)| !ex.contains(p));
+        match found {
+            Some(&(_, p)) => Some(p),
+            None => {
+                debug_assert!(
+                    self.top_bound.is_some(),
+                    "an unbounded top prefix covers every live entry"
+                );
+                None
+            }
+        }
+    }
+}
+
 /// A coordinator's index table.
 #[derive(Clone, Debug)]
 pub struct IndexTable {
     store: KeyStore<ChunkIndex>,
     /// Round-robin cursor per chunk key.
     cursors: std::collections::HashMap<u64, usize>,
+    /// Selection/registration fast-path state per chunk key. Dropped (and
+    /// lazily rebuilt) on the rare mutations that shift positions.
+    aux: std::collections::HashMap<u64, KeyAux>,
 }
 
 impl Default for IndexTable {
@@ -70,36 +278,75 @@ impl IndexTable {
         IndexTable {
             store: KeyStore::new(),
             cursors: std::collections::HashMap::new(),
+            aux: std::collections::HashMap::new(),
         }
     }
 
     /// Registers (or refreshes) a chunk index. A holder re-registering the
     /// same chunk updates its bandwidth advertisement in place.
     pub fn register(&mut self, key: ChordId, idx: ChunkIndex) {
-        if let Some(entries) = self.store.get_mut(key) {
-            if let Some(e) = entries.iter_mut().find(|e| e.holder == idx.holder) {
-                *e = idx;
+        let entries = self.store.get(key);
+        if !entries.is_empty() {
+            let aux = self
+                .aux
+                .entry(key.0)
+                .or_insert_with(|| KeyAux::from_entries(entries));
+            if let Some(&virt) = aux.pos.get(&idx.holder.0) {
+                // Refresh in place; the avail change invalidates the
+                // floor-dependent fields (rebuilt on the next selection).
+                aux.floor = None;
+                let phys = aux.physical(virt);
+                let entries = self.store.get_mut(key).expect("non-empty above");
+                debug_assert_eq!(entries[phys].holder, idx.holder, "aux position drift");
+                entries[phys] = idx;
                 return;
             }
         }
         self.store.insert(key, idx);
+        match self.aux.entry(key.0) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                o.get_mut().push_entry(idx.holder, idx.avail);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(KeyAux::from_entries(self.store.get(key)));
+            }
+        }
     }
 
     /// Removes one holder's index for `key`. Returns `true` if present.
     pub fn remove_holder(&mut self, key: ChordId, holder: NodeId) -> bool {
-        match self.store.get_mut(key) {
-            Some(entries) => {
+        let Some(entries) = self.store.get_mut(key) else {
+            return false;
+        };
+        match self.aux.get_mut(&key.0) {
+            Some(aux) => {
+                // O(1) membership verdict from the aux, then a positional
+                // removal — no holder scan.
+                let Some(virt) = aux.pos.remove(&holder.0) else {
+                    return false;
+                };
+                let phys = aux.physical(virt);
+                debug_assert_eq!(entries[phys].holder, holder, "aux position drift");
+                let avail = entries[phys].avail;
+                entries.remove(phys);
+                if !aux.delete(virt, avail) {
+                    // Tombstone budget exhausted; rebuild lazily on next use.
+                    self.aux.remove(&key.0);
+                }
+                true
+            }
+            None => {
                 let before = entries.len();
                 entries.retain(|e| e.holder != holder);
                 entries.len() != before
             }
-            None => false,
         }
     }
 
     /// Removes a holder from **every** entry (graceful-departure cleanup on
     /// a coordinator that received a deregistration without a key list).
     pub fn purge_holder(&mut self, holder: NodeId) -> usize {
+        self.aux.clear();
         let mut removed = 0;
         self.store.retain_values(|_, e| {
             if e.holder == holder {
@@ -139,35 +386,147 @@ impl IndexTable {
         exclude: &[NodeId],
         rng: &mut SimRng,
     ) -> Option<ChunkIndex> {
+        if policy == SelectPolicy::SufficientBandwidth && exclude.len() <= MAX_FAST_EXCLUDE {
+            return self.select_sufficient_fast(key, floor, exclude);
+        }
+        self.select_scan(key, floor, policy, exclude, rng)
+    }
+
+    /// The paper's sufficient-bandwidth rule answered from [`KeyAux`] in
+    /// O(1) cache lines — candidate counting, round-robin rank selection
+    /// and the degraded-mode maximum all reproduce [`Self::select_scan`]
+    /// exactly (checked by a debug assertion and a property test).
+    fn select_sufficient_fast(
+        &mut self,
+        key: ChordId,
+        floor: Kbps,
+        exclude: &[NodeId],
+    ) -> Option<ChunkIndex> {
         let entries = self.store.get(key);
-        let candidates: Vec<&ChunkIndex> = entries
-            .iter()
-            .filter(|e| !exclude.contains(&e.holder))
-            .collect();
-        if candidates.is_empty() {
+        if entries.is_empty() {
+            return None;
+        }
+        let aux = self
+            .aux
+            .entry(key.0)
+            .or_insert_with(|| KeyAux::from_entries(entries));
+        if aux.floor != Some(floor) {
+            aux.rebuild_for(entries, floor);
+        }
+        // Excluded holders actually present, as sorted unique virtual
+        // positions (virtual order equals candidate order).
+        let mut ex = [0u32; MAX_FAST_EXCLUDE];
+        let mut ex_n = 0;
+        for h in exclude {
+            if let Some(&p) = aux.pos.get(&h.0) {
+                if !ex[..ex_n].contains(&p) {
+                    ex[ex_n] = p;
+                    ex_n += 1;
+                }
+            }
+        }
+        ex[..ex_n].sort_unstable();
+        let n_candidates = entries.len() - ex_n;
+        if n_candidates == 0 {
+            return None;
+        }
+        // Ranks (within `suff`) of excluded sufficient entries, ascending.
+        let mut n_sufficient = aux.suff.len();
+        let mut ex_ranks = [0usize; MAX_FAST_EXCLUDE];
+        let mut exr_n = 0;
+        for &p in &ex[..ex_n] {
+            if entries[aux.physical(p)].avail >= floor {
+                let r = aux.suff.binary_search(&p).expect("sufficient position");
+                ex_ranks[exr_n] = r;
+                exr_n += 1;
+                n_sufficient -= 1;
+            }
+        }
+        let picked = if n_sufficient == 0 {
+            // Degraded mode: the last maximal-avail candidate, i.e. the
+            // max by `(avail, position)`. Deletions may have exhausted the
+            // tracked prefix; rebuild it first if so.
+            let virt = match aux.degraded_pick(&ex[..ex_n]) {
+                Some(v) => v,
+                None => {
+                    aux.rebuild_for(entries, floor);
+                    aux.degraded_pick(&ex[..ex_n])
+                        .expect("a non-excluded candidate exists")
+                }
+            };
+            entries[aux.physical(virt)]
+        } else {
+            let cursor = self.cursors.entry(key.0).or_insert(0);
+            let i = *cursor % n_sufficient;
+            *cursor = cursor.wrapping_add(1);
+            // The i-th sufficient candidate = the j-th entry of `suff`
+            // after skipping the excluded ranks (ascending adjustment).
+            let mut j = i;
+            for &r in &ex_ranks[..exr_n] {
+                if r <= j {
+                    j += 1;
+                }
+            }
+            entries[aux.physical(aux.suff[j])]
+        };
+        debug_assert_eq!(
+            Some(picked),
+            {
+                let candidates = || entries.iter().filter(|e| !exclude.contains(&e.holder));
+                let n_suff_scan = candidates().filter(|e| e.avail >= floor).count();
+                if n_suff_scan == 0 {
+                    candidates().max_by_key(|e| e.avail).copied()
+                } else {
+                    // The fast path already advanced the cursor by one.
+                    let cur = self.cursors.get(&key.0).copied().unwrap_or(1);
+                    candidates()
+                        .filter(|e| e.avail >= floor)
+                        .nth(cur.wrapping_sub(1) % n_suff_scan)
+                        .copied()
+                }
+            },
+            "fast selection must reproduce the scanning rule"
+        );
+        Some(picked)
+    }
+
+    /// Reference scanning selection: one counting pass over the provider
+    /// slice, then an index-addressed second pass — same candidate order
+    /// (and therefore the same RNG draws and round-robin picks) as the
+    /// collect-into-Vec formulation this replaces.
+    fn select_scan(
+        &mut self,
+        key: ChordId,
+        floor: Kbps,
+        policy: SelectPolicy,
+        exclude: &[NodeId],
+        rng: &mut SimRng,
+    ) -> Option<ChunkIndex> {
+        let entries = self.store.get(key);
+        let candidates = || entries.iter().filter(|e| !exclude.contains(&e.holder));
+        let n_candidates = candidates().count();
+        if n_candidates == 0 {
             return None;
         }
         match policy {
             SelectPolicy::Random => {
-                let i = rng.gen_range(0..candidates.len());
-                Some(*candidates[i])
+                let i = rng.gen_range(0..n_candidates);
+                candidates().nth(i).copied()
             }
             SelectPolicy::SufficientBandwidth => {
-                let sufficient: Vec<&&ChunkIndex> =
-                    candidates.iter().filter(|e| e.avail >= floor).collect();
-                if sufficient.is_empty() {
+                let n_sufficient = candidates().filter(|e| e.avail >= floor).count();
+                if n_sufficient == 0 {
                     // Degraded mode: the least-loaded holder.
-                    return candidates.iter().max_by_key(|e| e.avail).map(|e| **e);
+                    return candidates().max_by_key(|e| e.avail).copied();
                 }
                 let cursor = self.cursors.entry(key.0).or_insert(0);
-                let pick = **sufficient[*cursor % sufficient.len()];
+                let i = *cursor % n_sufficient;
                 *cursor = cursor.wrapping_add(1);
-                Some(pick)
+                candidates().filter(|e| e.avail >= floor).nth(i).copied()
             }
-            SelectPolicy::LeastLoaded => candidates
-                .iter()
+            SelectPolicy::LeastLoaded => candidates()
                 .max_by_key(|e| (e.avail, std::cmp::Reverse(e.held_count)))
-                .map(|e| **e),
+                .copied(),
         }
     }
 
@@ -175,12 +534,14 @@ impl IndexTable {
     /// `(key, indices)` pairs.
     pub fn drain_all(&mut self) -> Vec<(ChordId, Vec<ChunkIndex>)> {
         self.cursors.clear();
+        self.aux.clear();
         self.store.extract_range(ChordId(0), ChordId(0))
     }
 
     /// Removes and returns the entries in the clockwise arc `(from, to]`
     /// (ownership split when a new coordinator joins).
     pub fn extract_range(&mut self, from: ChordId, to: ChordId) -> Vec<(ChordId, Vec<ChunkIndex>)> {
+        self.aux.clear();
         self.store.extract_range(from, to)
     }
 

@@ -3,6 +3,7 @@
 
 use dco_dht::chord::FIND_TTL;
 use dco_sim::prelude::*;
+use dco_sim::smallvec::SmallVec;
 
 use crate::chunk::ChunkSeq;
 
@@ -55,12 +56,15 @@ impl DcoProtocol {
         let playhead = ChunkSeq(st.session_seq.0.saturating_add(elapsed_chunks));
         let end = ChunkSeq(playhead.0.saturating_add(window).min(latest.0));
         let session_start = st.session_seq.max(st.first_seq);
-        let mut wanted: Vec<ChunkSeq> = Vec::with_capacity(budget);
+        // The selection stays inline (in-flight budgets are single-digit)
+        // and scans the buffer map lazily — this tick fires on every node
+        // every `fetch_tick` and must not allocate on the common all-caught-
+        // up path.
+        let mut wanted: SmallVec<ChunkSeq, 8> = SmallVec::new();
         if end >= session_start {
             wanted.extend(
                 st.buffer
-                    .missing_in(session_start, end)
-                    .into_iter()
+                    .missing_in_iter(session_start, end)
                     .filter(|s| !st.pending.contains_key(&s.0) && !st.lookups.contains_key(&s.0))
                     .take(budget),
             );
@@ -74,13 +78,12 @@ impl DcoProtocol {
         if wanted.len() < budget && session_start > st.first_seq {
             wanted.extend(
                 st.buffer
-                    .missing_in(st.first_seq, ChunkSeq(session_start.0 - 1))
-                    .into_iter()
+                    .missing_in_iter(st.first_seq, ChunkSeq(session_start.0 - 1))
                     .filter(|s| !st.pending.contains_key(&s.0) && !st.lookups.contains_key(&s.0))
                     .take(1),
             );
         }
-        for seq in wanted {
+        for &seq in wanted.iter() {
             self.start_lookup(node, seq, None, ctx);
         }
     }

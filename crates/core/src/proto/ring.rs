@@ -1,7 +1,7 @@
 //! Ring-side logic: membership, Chord glue, routed `Insert` / `Lookup` /
 //! `Deregister`, coordinator duties and the server's chunk generation.
 
-use dco_dht::chord::{ChordEvent, ChordMsg, Outbox, RouteDecision, FIND_TTL};
+use dco_dht::chord::{ChordEvent, ChordMsg, Outbox, RouteStep, FIND_TTL};
 use dco_dht::hash::hash_node;
 use dco_dht::id::{ChordId, Peer};
 use dco_sim::prelude::*;
@@ -330,12 +330,12 @@ impl DcoProtocol {
             self.deliver_insert(at, key, index);
             return;
         }
-        match self.chord.route_next(at, key) {
-            Some(RouteDecision::Deliver) | None => self.deliver_insert(at, key, index),
-            Some(RouteDecision::DeliverAt(p)) => {
+        match self.chord.route_next_cached(at, key) {
+            Some(RouteStep::Deliver) | None => self.deliver_insert(at, key, index),
+            Some(RouteStep::DeliverAt(p)) => {
                 ctx.send_control(
                     at,
-                    p.node,
+                    p,
                     DcoMsg::Insert {
                         key,
                         index,
@@ -345,11 +345,11 @@ impl DcoProtocol {
                     "dco.insert",
                 );
             }
-            Some(RouteDecision::Forward(p)) => {
+            Some(RouteStep::Forward(p)) => {
                 if ttl > 0 {
                     ctx.send_control(
                         at,
-                        p.node,
+                        p,
                         DcoMsg::Insert {
                             key,
                             index,
@@ -384,16 +384,16 @@ impl DcoProtocol {
             }
             return;
         }
-        match self.chord.route_next(at, key) {
-            Some(RouteDecision::Deliver) | None => {
+        match self.chord.route_next_cached(at, key) {
+            Some(RouteStep::Deliver) | None => {
                 if let Some(st) = self.state_mut(at) {
                     st.index.remove_holder(key, holder);
                 }
             }
-            Some(RouteDecision::DeliverAt(p)) => {
+            Some(RouteStep::DeliverAt(p)) => {
                 ctx.send_control(
                     at,
-                    p.node,
+                    p,
                     DcoMsg::Deregister {
                         key,
                         holder,
@@ -403,11 +403,11 @@ impl DcoProtocol {
                     "dco.dereg",
                 );
             }
-            Some(RouteDecision::Forward(p)) => {
+            Some(RouteStep::Forward(p)) => {
                 if ttl > 0 {
                     ctx.send_control(
                         at,
-                        p.node,
+                        p,
                         DcoMsg::Deregister {
                             key,
                             holder,
@@ -437,14 +437,14 @@ impl DcoProtocol {
             self.deliver_lookup(at, key, seq, origin, exclude, ctx);
             return;
         }
-        match self.chord.route_next(at, key) {
-            Some(RouteDecision::Deliver) | None => {
+        match self.chord.route_next_cached(at, key) {
+            Some(RouteStep::Deliver) | None => {
                 self.deliver_lookup(at, key, seq, origin, exclude, ctx)
             }
-            Some(RouteDecision::DeliverAt(p)) => {
+            Some(RouteStep::DeliverAt(p)) => {
                 ctx.send_control(
                     at,
-                    p.node,
+                    p,
                     DcoMsg::Lookup {
                         key,
                         seq,
@@ -456,11 +456,11 @@ impl DcoProtocol {
                     "dco.lookup",
                 );
             }
-            Some(RouteDecision::Forward(p)) => {
+            Some(RouteStep::Forward(p)) => {
                 if ttl > 0 {
                     ctx.send_control(
                         at,
-                        p.node,
+                        p,
                         DcoMsg::Lookup {
                             key,
                             seq,
@@ -495,13 +495,13 @@ impl DcoProtocol {
         if let Some(dead) = exclude {
             st.index.remove_holder(key, dead);
         }
-        let mut excluded = vec![origin];
-        if let Some(dead) = exclude {
-            excluded.push(dead);
-        }
+        // Stack-allocated exclusion set: it is always {origin} or
+        // {origin, dead} — this runs once per delivered lookup.
+        let excluded_buf = [origin, exclude.unwrap_or(origin)];
+        let excluded: &[NodeId] = &excluded_buf[..1 + usize::from(exclude.is_some())];
         let mut provider = st
             .index
-            .select(key, floor, policy, &excluded, ctx.rng())
+            .select(key, floor, policy, excluded, ctx.rng())
             .map(|idx| idx.holder);
         if provider.is_none() {
             self.provider_none += 1;

@@ -231,6 +231,124 @@ pub enum RouteDecision {
     Forward(Peer),
 }
 
+/// A [`RouteDecision`] reduced to node ids, as returned by
+/// [`ChordNet::route_next_cached`]. Hop-by-hop hosts only need the next
+/// node to hand the message to, so the cache stores (and returns) just
+/// that instead of full [`Peer`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteStep {
+    /// This node owns the key; deliver locally.
+    Deliver,
+    /// The given node is the owner; forward as final.
+    DeliverAt(NodeId),
+    /// Forward to this node and keep routing.
+    Forward(NodeId),
+}
+
+impl RouteStep {
+    fn of(d: RouteDecision) -> RouteStep {
+        match d {
+            RouteDecision::Deliver => RouteStep::Deliver,
+            RouteDecision::DeliverAt(p) => RouteStep::DeliverAt(p.node),
+            RouteDecision::Forward(p) => RouteStep::Forward(p.node),
+        }
+    }
+}
+
+/// Distinct keys the route cache will track; DCO routes by chunk name and
+/// streams carry ~100 distinct chunk keys, so this covers the hot set.
+/// Keys beyond the budget simply bypass the cache.
+const ROUTE_SLOTS: usize = 128;
+
+/// Target node ids must fit in 30 bits to pack into a cache entry;
+/// anything larger (never seen in practice) bypasses the cache.
+const ROUTE_NODE_MAX: u32 = (1 << 30) - 1;
+
+/// Memoized [`ChordNet::route_next`] decisions.
+///
+/// `route_next` is a pure function of the deciding node's own Chord state,
+/// so each entry is valid until that node's state next changes. A per-node
+/// generation counter — bumped on *any* mutable access to the state —
+/// versions the entries: a row written under an older generation simply
+/// misses. In the paper's no-churn experiments the ring never mutates
+/// after construction, so every (node, key) pair is computed exactly once;
+/// under churn the cache degrades gracefully toward recompute-per-hop.
+#[derive(Default)]
+struct RouteCache {
+    /// Distinct keys seen so far, sorted for binary search; the payload is
+    /// the key's column in `rows`.
+    keys: Vec<(ChordId, u16)>,
+    /// Per-node generation, bumped on every state mutation.
+    gens: Vec<u32>,
+    /// Per-node decision row, allocated on first route from that node.
+    /// Entry layout: `gen << 32 | kind << 30 | target_node`, with kind
+    /// 1 = Deliver, 2 = DeliverAt, 3 = Forward; kind 0 (the zeroed
+    /// initial state) never matches.
+    rows: Vec<Option<Box<[u64; ROUTE_SLOTS]>>>,
+}
+
+impl RouteCache {
+    /// The column for `key`, allocating one if the budget allows.
+    fn slot_of(&mut self, key: ChordId) -> Option<usize> {
+        match self.keys.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => Some(self.keys[i].1 as usize),
+            Err(i) => {
+                let next = self.keys.len();
+                if next >= ROUTE_SLOTS {
+                    return None;
+                }
+                self.keys.insert(i, (key, next as u16));
+                Some(next)
+            }
+        }
+    }
+
+    /// Invalidates all of `node`'s cached decisions.
+    fn bump(&mut self, node: NodeId) {
+        if let Some(g) = self.gens.get_mut(node.index()) {
+            *g = g.wrapping_add(1);
+        }
+    }
+
+    /// Grows the per-node arrays to cover `node`.
+    fn ensure(&mut self, node: NodeId) {
+        let want = node.index() + 1;
+        if self.gens.len() < want {
+            self.gens.resize(want, 0);
+            self.rows.resize_with(want, || None);
+        }
+    }
+
+    fn get(&self, node: NodeId, slot: usize) -> Option<RouteStep> {
+        let i = node.index();
+        let e = self.rows[i].as_deref()?[slot];
+        if (e >> 32) as u32 != self.gens[i] {
+            return None;
+        }
+        let target = NodeId((e & ROUTE_NODE_MAX as u64) as u32);
+        match (e >> 30) & 0b11 {
+            1 => Some(RouteStep::Deliver),
+            2 => Some(RouteStep::DeliverAt(target)),
+            3 => Some(RouteStep::Forward(target)),
+            _ => None,
+        }
+    }
+
+    fn put(&mut self, node: NodeId, slot: usize, step: RouteStep) {
+        let (kind, target) = match step {
+            RouteStep::Deliver => (1u64, 0),
+            RouteStep::DeliverAt(n) => (2, n.0),
+            RouteStep::Forward(n) => (3, n.0),
+        };
+        if target > ROUTE_NODE_MAX {
+            return;
+        }
+        let i = node.index();
+        let row = self.rows[i].get_or_insert_with(|| Box::new([0u64; ROUTE_SLOTS]));
+        row[slot] = ((self.gens[i] as u64) << 32) | (kind << 30) | target as u64;
+    }
+}
+
 /// Per-node Chord state.
 #[derive(Clone, Debug)]
 pub struct ChordState {
@@ -408,6 +526,7 @@ impl ChordState {
 pub struct ChordNet {
     cfg: ChordConfig,
     nodes: Vec<Option<ChordState>>,
+    route_cache: RouteCache,
 }
 
 impl ChordNet {
@@ -416,6 +535,7 @@ impl ChordNet {
         ChordNet {
             cfg,
             nodes: (0..capacity).map(|_| None).collect(),
+            route_cache: RouteCache::default(),
         }
     }
 
@@ -437,6 +557,9 @@ impl ChordNet {
     }
 
     fn state_mut(&mut self, node: NodeId) -> Option<&mut ChordState> {
+        // Any mutable access may change routing-relevant state; version the
+        // node's cached route decisions out from under it.
+        self.route_cache.bump(node);
         self.nodes.get_mut(node.index()).and_then(Option::as_mut)
     }
 
@@ -464,6 +587,7 @@ impl ChordNet {
         self.grow(me.node.index() + 1);
         let mut st = ChordState::new(me, &self.cfg);
         st.joined = true;
+        self.route_cache.bump(me.node);
         self.nodes[me.node.index()] = Some(st);
     }
 
@@ -472,6 +596,7 @@ impl ChordNet {
     /// fires; retry with [`ChordNet::retry_join`] if it does not.
     pub fn join(&mut self, me: Peer, via: NodeId, out: &mut Outbox) {
         self.grow(me.node.index() + 1);
+        self.route_cache.bump(me.node);
         self.nodes[me.node.index()] = Some(ChordState::new(me, &self.cfg));
         out.send(
             me.node,
@@ -515,6 +640,7 @@ impl ChordNet {
         node: NodeId,
         out: &mut Outbox,
     ) -> Option<(Option<Peer>, Option<Peer>)> {
+        self.route_cache.bump(node);
         let st = self.nodes.get_mut(node.index())?.take()?;
         let me = st.me;
         let pred = st.pred;
@@ -547,6 +673,7 @@ impl ChordNet {
     /// Abrupt failure: state vanishes with no goodbye. Peers find out
     /// through stabilization.
     pub fn fail(&mut self, node: NodeId) {
+        self.route_cache.bump(node);
         if let Some(slot) = self.nodes.get_mut(node.index()) {
             *slot = None;
         }
@@ -995,6 +1122,26 @@ impl ChordNet {
         let hop = st.best_hop(key).unwrap_or(succ);
         let hop = if hop.node == node { succ } else { hop };
         Some(RouteDecision::Forward(hop))
+    }
+
+    /// Memoized [`ChordNet::route_next`], reduced to node ids.
+    ///
+    /// Identical decisions, cached per (node, key) and invalidated whenever
+    /// the deciding node's state mutates. Hop-by-hop hosts (DCO's
+    /// `Insert`/`Lookup` routing) should prefer this; it turns each hop of
+    /// a stable ring into one array read instead of a finger-table scan.
+    pub fn route_next_cached(&mut self, node: NodeId, key: ChordId) -> Option<RouteStep> {
+        let Some(slot) = self.route_cache.slot_of(key) else {
+            return self.route_next(node, key).map(RouteStep::of);
+        };
+        self.route_cache.ensure(node);
+        if let Some(step) = self.route_cache.get(node, slot) {
+            debug_assert_eq!(Some(step), self.route_next(node, key).map(RouteStep::of));
+            return Some(step);
+        }
+        let step = RouteStep::of(self.route_next(node, key)?);
+        self.route_cache.put(node, slot, step);
+        Some(step)
     }
 
     // ------------------------------------------------------------------

@@ -74,7 +74,9 @@ pub mod ring;
 pub mod store;
 pub mod successors;
 
-pub use chord::{ChordConfig, ChordEvent, ChordMsg, ChordNet, Outbox, RouteDecision, RouteToken};
+pub use chord::{
+    ChordConfig, ChordEvent, ChordMsg, ChordNet, Outbox, RouteDecision, RouteStep, RouteToken,
+};
 pub use hash::{hash_bytes, hash_name, hash_node};
 pub use id::{ChordId, Peer, ID_BITS};
 pub use ring::OracleRing;

@@ -14,17 +14,26 @@
 //! * a per-second time series of control units, which is exactly the series
 //!   Figure 10 plots.
 
-use std::collections::BTreeMap;
-
 use crate::rng::splitmix64;
 use crate::time::SimTime;
 
 /// Message counters maintained by the engine.
+///
+/// The per-tag breakdown is a **sorted vector** rather than a `BTreeMap`:
+/// the tag population is tiny (one entry per distinct protocol label) while
+/// `record_control` runs once per control transmission — tens of millions
+/// of times in a large run — so a binary search over one contiguous array,
+/// fronted by a last-tag hit cache (sends are bursty per tag), beats tree
+/// traversal. Iteration order stays sorted-by-tag, which the snapshot and
+/// digest rely on.
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
     control_total: u64,
     data_total: u64,
-    by_tag: BTreeMap<&'static str, u64>,
+    /// `(tag, units)`, sorted by tag.
+    by_tag: Vec<(&'static str, u64)>,
+    /// Index into `by_tag` of the most recently bumped tag.
+    last_tag: usize,
     /// control units bucketed by whole sim second.
     control_per_sec: Vec<u64>,
     dropped_dead: u64,
@@ -40,12 +49,32 @@ impl Counters {
     /// Records one control transmission at `now` with a diagnostic tag.
     pub fn record_control(&mut self, now: SimTime, tag: &'static str) {
         self.control_total += 1;
-        *self.by_tag.entry(tag).or_insert(0) += 1;
+        self.bump_tag(tag);
         let sec = now.as_secs() as usize;
         if self.control_per_sec.len() <= sec {
             self.control_per_sec.resize(sec + 1, 0);
         }
         self.control_per_sec[sec] += 1;
+    }
+
+    #[inline]
+    fn bump_tag(&mut self, tag: &'static str) {
+        if let Some(e) = self.by_tag.get_mut(self.last_tag) {
+            if e.0 == tag {
+                e.1 += 1;
+                return;
+            }
+        }
+        match self.by_tag.binary_search_by(|(t, _)| (*t).cmp(tag)) {
+            Ok(i) => {
+                self.by_tag[i].1 += 1;
+                self.last_tag = i;
+            }
+            Err(i) => {
+                self.by_tag.insert(i, (tag, 1));
+                self.last_tag = i;
+            }
+        }
     }
 
     /// Records one data (chunk) transmission.
@@ -75,12 +104,15 @@ impl Counters {
 
     /// Units attributed to one tag.
     pub fn tagged(&self, tag: &str) -> u64 {
-        self.by_tag.get(tag).copied().unwrap_or(0)
+        match self.by_tag.binary_search_by(|(t, _)| (*t).cmp(tag)) {
+            Ok(i) => self.by_tag[i].1,
+            Err(_) => 0,
+        }
     }
 
     /// The full per-tag breakdown, sorted by tag.
     pub fn tags(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.by_tag.iter().map(|(k, v)| (*k, *v))
+        self.by_tag.iter().map(|&(k, v)| (k, v))
     }
 
     /// Control units in the whole second `sec` (0 if beyond the run).
@@ -114,7 +146,7 @@ impl Counters {
             by_tag: self
                 .by_tag
                 .iter()
-                .map(|(k, v)| ((*k).to_string(), *v))
+                .map(|&(k, v)| (k.to_string(), v))
                 .collect(),
             control_per_sec: self.control_per_sec.clone(),
             dropped_dead: self.dropped_dead,
@@ -144,6 +176,138 @@ impl Counters {
             }
         }
         h
+    }
+}
+
+/// Allocation and event-rate accounting for the perf harness.
+///
+/// [`perf::CountingAlloc`] wraps the system allocator behind relaxed atomic
+/// counters; a perf binary installs it with `#[global_allocator]` and
+/// brackets each measured region with [`perf::AllocStats::snapshot`]. The
+/// simulation itself never reads these counters — they exist so `dco-perf`
+/// can report allocations-per-run alongside wall clock without dragging a
+/// profiler into the tree. In binaries that do *not* install the allocator
+/// every snapshot is zero and the deltas degrade gracefully.
+pub mod perf {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::time::Instant;
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static FREES: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// A counting wrapper over the system allocator. Install in a perf
+    /// binary with `#[global_allocator] static A: CountingAlloc =
+    /// CountingAlloc;` — the per-call cost is two relaxed atomic adds.
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every allocation verbatim to `System`; the counters
+    // are monotonic atomics with no effect on the returned memory.
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            FREES.fetch_add(1, Relaxed);
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(new_size as u64, Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Cumulative allocator totals at one instant.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct AllocStats {
+        /// Allocations (incl. reallocs) since process start.
+        pub allocs: u64,
+        /// Deallocations since process start.
+        pub frees: u64,
+        /// Bytes requested since process start (not live bytes).
+        pub bytes: u64,
+    }
+
+    impl AllocStats {
+        /// The current cumulative totals (all zero unless a
+        /// [`CountingAlloc`] is installed as the global allocator).
+        pub fn snapshot() -> AllocStats {
+            AllocStats {
+                allocs: ALLOCS.load(Relaxed),
+                frees: FREES.load(Relaxed),
+                bytes: BYTES.load(Relaxed),
+            }
+        }
+
+        /// Totals accrued since an `earlier` snapshot.
+        pub fn delta_since(self, earlier: AllocStats) -> AllocStats {
+            AllocStats {
+                allocs: self.allocs.saturating_sub(earlier.allocs),
+                frees: self.frees.saturating_sub(earlier.frees),
+                bytes: self.bytes.saturating_sub(earlier.bytes),
+            }
+        }
+    }
+
+    /// Wall-clock + allocation meter for one measured region.
+    pub struct PerfMeter {
+        t0: Instant,
+        a0: AllocStats,
+    }
+
+    impl PerfMeter {
+        /// Starts timing now.
+        #[allow(clippy::new_without_default)]
+        pub fn start() -> PerfMeter {
+            PerfMeter {
+                a0: AllocStats::snapshot(),
+                t0: Instant::now(),
+            }
+        }
+
+        /// Stops timing; `events` is the engine's dispatched-event count
+        /// for the region (used for the events/s rate).
+        pub fn finish(self, events: u64) -> PerfSample {
+            let wall_ns = self.t0.elapsed().as_nanos();
+            PerfSample {
+                wall_ns,
+                events,
+                alloc: AllocStats::snapshot().delta_since(self.a0),
+            }
+        }
+    }
+
+    /// One measured region: wall clock, event count, allocator deltas.
+    #[derive(Clone, Copy, Debug)]
+    pub struct PerfSample {
+        /// Wall-clock nanoseconds.
+        pub wall_ns: u128,
+        /// Events dispatched in the region.
+        pub events: u64,
+        /// Allocator activity in the region.
+        pub alloc: AllocStats,
+    }
+
+    impl PerfSample {
+        /// Dispatched events per wall-clock second.
+        pub fn events_per_sec(&self) -> f64 {
+            if self.wall_ns == 0 {
+                return 0.0;
+            }
+            self.events as f64 / (self.wall_ns as f64 / 1e9)
+        }
+
+        /// Wall-clock milliseconds as a float.
+        pub fn wall_ms(&self) -> f64 {
+            self.wall_ns as f64 / 1e6
+        }
     }
 }
 
@@ -185,6 +349,20 @@ mod tests {
     }
 
     #[test]
+    fn tag_breakdown_stays_sorted_under_interleaving() {
+        let mut c = Counters::new();
+        // Bursty + interleaved bumps exercise the last-tag hit cache and
+        // the binary-search miss path in both directions.
+        for tag in ["zz", "aa", "zz", "mm", "aa", "aa", "zz", "mm"] {
+            c.record_control(SimTime::from_secs(0), tag);
+        }
+        let tags: Vec<_> = c.tags().collect();
+        assert_eq!(tags, vec![("aa", 3), ("mm", 2), ("zz", 3)]);
+        assert_eq!(c.tagged("mm"), 2);
+        assert_eq!(c.tagged("absent"), 0);
+    }
+
+    #[test]
     fn per_second_series() {
         let mut c = Counters::new();
         c.record_control(SimTime::from_millis(100), "x");
@@ -220,6 +398,28 @@ mod tests {
         d.record_control(SimTime::from_secs(6), "lookup");
         assert_eq!(c.control_total(), d.control_total());
         assert_ne!(c.digest(), d.digest());
+    }
+
+    #[test]
+    fn perf_meter_and_alloc_deltas() {
+        use super::perf::{AllocStats, PerfMeter};
+        let later = AllocStats {
+            allocs: 10,
+            frees: 7,
+            bytes: 4096,
+        };
+        let earlier = AllocStats {
+            allocs: 4,
+            frees: 9, // deltas saturate rather than wrap
+            bytes: 1024,
+        };
+        let d = later.delta_since(earlier);
+        assert_eq!((d.allocs, d.frees, d.bytes), (6, 0, 3072));
+
+        let sample = PerfMeter::start().finish(1_000);
+        assert_eq!(sample.events, 1_000);
+        assert!(sample.events_per_sec() >= 0.0);
+        assert!(sample.wall_ms() >= 0.0);
     }
 
     #[test]

@@ -38,7 +38,11 @@ use crate::time::{SimDuration, SimTime};
 /// an event is for.
 pub trait Protocol: Sized {
     /// The protocol's wire message type.
-    type Msg: Clone + fmt::Debug;
+    ///
+    /// Deliberately *not* `Clone`-bounded: the engine moves each message
+    /// from send to delivery exactly once, so fan-out payloads can be
+    /// shared behind an `Rc` instead of deep-copied per neighbor.
+    type Msg: fmt::Debug;
     /// The protocol's timer token type.
     type Timer: Clone + fmt::Debug;
 
@@ -276,12 +280,23 @@ impl<P: Protocol> Simulator<P> {
     /// Builds a simulator around `protocol` with the given network
     /// configuration and master seed.
     pub fn new(protocol: P, net_cfg: NetConfig, seed: u64) -> Self {
+        Self::with_capacity(protocol, net_cfg, seed, 0)
+    }
+
+    /// Like [`Simulator::new`] but with a population capacity hint:
+    /// pre-sizes the network's per-node tables and the event calendar's
+    /// active heap so scenario installation doesn't regrow them
+    /// incrementally. Purely an allocation hint — behaviour is identical
+    /// for any `n_nodes`.
+    pub fn with_capacity(protocol: P, net_cfg: NetConfig, seed: u64, n_nodes: usize) -> Self {
         let hub = RngHub::new(seed);
         Simulator {
             core: SimCore {
                 clock: SimTime::ZERO,
-                queue: EventQueue::new(),
-                net: Network::new(net_cfg),
+                // Rule of thumb: a live overlay keeps a small constant
+                // number of in-flight events per node (timers + deliveries).
+                queue: EventQueue::with_capacity(n_nodes.saturating_mul(4)),
+                net: Network::with_capacity(net_cfg, n_nodes),
                 alive: AliveSet::new(0),
                 counters: Counters::new(),
                 rng: hub.engine_rng(),

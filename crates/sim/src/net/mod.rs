@@ -95,10 +95,16 @@ pub enum Transmit {
 impl Network {
     /// An empty network with the given configuration.
     pub fn new(cfg: NetConfig) -> Self {
+        Self::with_capacity(cfg, 0)
+    }
+
+    /// An empty network pre-sized for `n_nodes` registrations (capacity
+    /// hint only; the network still grows on demand past it).
+    pub fn with_capacity(cfg: NetConfig, n_nodes: usize) -> Self {
         Network {
             cfg,
-            up: Vec::new(),
-            down: Vec::new(),
+            up: Vec::with_capacity(n_nodes),
+            down: Vec::with_capacity(n_nodes),
         }
     }
 

@@ -1,14 +1,49 @@
 //! The future-event list.
 //!
-//! A classic discrete-event simulation calendar: a binary min-heap ordered by
-//! `(time, sequence)`. The monotonically increasing sequence number makes the
-//! queue **stable** — events scheduled earlier for the same instant fire
-//! first — which is what makes whole runs deterministic for a fixed seed.
+//! A two-tier **bucketed calendar queue**, replacing the classic global
+//! binary heap. Simulation events cluster tightly in time (link latencies,
+//! tick timers), so the calendar splits the timeline into fixed-width
+//! buckets of `2^BUCKET_SHIFT` µs:
+//!
+//! * **`cur`** — a small binary heap holding the *active region*: every
+//!   pending event whose bucket is at or before the cursor. Pops come from
+//!   here, so the heap the hot path touches holds one bucket's worth of
+//!   events instead of the whole future.
+//! * **`ring`** — the near future: a power-of-two ring of unsorted
+//!   per-bucket vectors covering the `RING_BUCKETS - 1` buckets after the
+//!   cursor, with a word-level occupancy bitmap so advancing the cursor
+//!   skips empty buckets without scanning them. Pushing here is an O(1)
+//!   vector append — no comparisons, no sift.
+//! * **`overflow`** — the far future (beyond the ring window): a binary
+//!   heap, drained bucket-by-bucket into `cur` as the cursor reaches it.
+//!
+//! Total pop order is exactly `(time, sequence)`: everything in `cur` fires
+//! strictly before anything in the ring or overflow (later buckets mean
+//! strictly later times), and `cur` itself is a stable min-heap. The
+//! monotonically increasing sequence number makes the queue **stable** —
+//! events scheduled earlier for the same instant fire first — which is what
+//! makes whole runs deterministic for a fixed seed. The replacement is
+//! bit-exact with the old heap: the golden trace digests in
+//! `tests/determinism.rs` pin that.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
+
+/// log2 of the bucket width in microseconds (8.192 ms buckets): wide enough
+/// that a bucket amortizes the heapify, narrow enough that the active heap
+/// stays small.
+const BUCKET_SHIFT: u32 = 13;
+
+/// Ring size in buckets (power of two). The window spans
+/// `(RING_BUCKETS - 1) << BUCKET_SHIFT` µs ≈ 4.2 s — comfortably past every
+/// periodic timer and timeout the protocols arm; only long-horizon events
+/// (churn schedules, far-future joins) spill to the overflow heap.
+const RING_BUCKETS: usize = 512;
+
+/// Occupancy bitmap words.
+const RING_WORDS: usize = RING_BUCKETS / 64;
 
 /// An entry in the calendar: a payload due at `at`, tie-broken by `seq`.
 struct Scheduled<E> {
@@ -41,9 +76,30 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// The bucket index of an instant.
+#[inline]
+fn bucket_of(at: SimTime) -> u64 {
+    at.as_micros() >> BUCKET_SHIFT
+}
+
 /// A stable min-priority queue of future events.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Active region: every pending event with `bucket <= cursor`.
+    cur: BinaryHeap<Scheduled<E>>,
+    /// Near future: bucket `b` with `cursor < b < cursor + RING_BUCKETS`
+    /// lives (unsorted) at slot `b % RING_BUCKETS`. Vectors keep their
+    /// allocation across window generations.
+    ring: Vec<Vec<Scheduled<E>>>,
+    /// One bit per ring slot with at least one event.
+    occupied: [u64; RING_WORDS],
+    /// Events currently in the ring (fast empty check).
+    ring_len: usize,
+    /// Far future: bucket at or beyond `cursor + RING_BUCKETS`.
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// The active bucket index.
+    cursor: u64,
+    /// Total pending events across all three tiers.
+    len: usize,
     next_seq: u64,
 }
 
@@ -57,17 +113,28 @@ impl<E> EventQueue<E> {
     /// An empty calendar.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            cur: BinaryHeap::new(),
+            ring: (0..RING_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; RING_WORDS],
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            len: 0,
             next_seq: 0,
         }
     }
 
-    /// An empty calendar with pre-allocated capacity.
+    /// An empty calendar with pre-allocated active-heap capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-        }
+        let mut q = Self::new();
+        q.cur.reserve(cap);
+        q
+    }
+
+    /// Grows the active-heap reservation to at least `additional` more
+    /// slots (scenario-population capacity hint).
+    pub fn reserve(&mut self, additional: usize) {
+        self.cur.reserve(additional);
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
@@ -76,27 +143,133 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        self.len += 1;
+        let b = bucket_of(at);
+        let entry = Scheduled { at, seq, payload };
+        if b <= self.cursor {
+            self.cur.push(entry);
+        } else if b - self.cursor < RING_BUCKETS as u64 {
+            let slot = (b % RING_BUCKETS as u64) as usize;
+            self.ring[slot].push(entry);
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Moves the earliest pending bucket into `cur` until `cur` is
+    /// non-empty (or the queue is drained).
+    fn settle(&mut self) {
+        while self.cur.is_empty() {
+            let b_ring = if self.ring_len > 0 {
+                self.next_occupied_bucket()
+            } else {
+                None
+            };
+            let b_ovf = self.overflow.peek().map(|s| bucket_of(s.at));
+            let b = match (b_ring, b_ovf) {
+                (Some(r), Some(o)) => r.min(o),
+                (Some(r), None) => r,
+                (None, Some(o)) => o,
+                (None, None) => return,
+            };
+            if b_ring == Some(b) {
+                let slot = (b % RING_BUCKETS as u64) as usize;
+                self.ring_len -= self.ring[slot].len();
+                self.occupied[slot / 64] &= !(1 << (slot % 64));
+                // `drain` keeps the slot's allocation for the next window
+                // generation; `extend` heapifies element-by-element, which
+                // is fine at bucket granularity.
+                let mut bucket = std::mem::take(&mut self.ring[slot]);
+                self.cur.extend(bucket.drain(..));
+                self.ring[slot] = bucket;
+            }
+            if b_ovf == Some(b) {
+                while let Some(s) = self.overflow.peek() {
+                    if bucket_of(s.at) != b {
+                        break;
+                    }
+                    let s = self.overflow.pop().expect("peeked");
+                    self.cur.push(s);
+                }
+            }
+            self.cursor = b;
+        }
+    }
+
+    /// The bucket index of the first occupied ring slot after the cursor,
+    /// scanning the occupancy bitmap word-by-word in bucket order.
+    fn next_occupied_bucket(&self) -> Option<u64> {
+        debug_assert!(self.ring_len > 0);
+        for d in 1..RING_BUCKETS as u64 {
+            let b = self.cursor + d;
+            let slot = (b % RING_BUCKETS as u64) as usize;
+            // Word-level skip: if the whole word holds no occupied slot at
+            // or after this position (within this word), jump to the next
+            // word boundary.
+            let word = self.occupied[slot / 64];
+            let masked = word >> (slot % 64);
+            if masked == 0 {
+                // Skip the rest of this word (minus one for the loop's +1).
+                let skip = 63 - (slot % 64) as u64;
+                if skip > 0 {
+                    return self.next_occupied_from(b + skip);
+                }
+                continue;
+            }
+            return Some(b + masked.trailing_zeros() as u64);
+        }
+        None
+    }
+
+    /// Continues the occupancy scan from bucket `from` (exclusive of
+    /// nothing — `from` itself is a candidate).
+    fn next_occupied_from(&self, from: u64) -> Option<u64> {
+        let end = self.cursor + RING_BUCKETS as u64;
+        let mut b = from + 1;
+        while b < end {
+            let slot = (b % RING_BUCKETS as u64) as usize;
+            let masked = self.occupied[slot / 64] >> (slot % 64);
+            if masked == 0 {
+                b += 64 - (slot % 64) as u64;
+                continue;
+            }
+            let cand = b + masked.trailing_zeros() as u64;
+            if cand >= end {
+                return None;
+            }
+            return Some(cand);
+        }
+        None
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.at, s.payload))
+        self.settle();
+        let s = self.cur.pop()?;
+        self.len -= 1;
+        Some((s.at, s.payload))
     }
 
     /// The firing time of the earliest event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+    ///
+    /// Takes `&mut self` because peeking may advance the calendar's cursor
+    /// to the next occupied bucket (pure queue bookkeeping — the observable
+    /// event order is unchanged).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.settle();
+        self.cur.peek().map(|s| s.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events ever scheduled (diagnostic).
@@ -106,7 +279,15 @@ impl<E> EventQueue<E> {
 
     /// Discards all pending events without firing them.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.cur.clear();
+        for slot in &mut self.ring {
+            slot.clear();
+        }
+        self.occupied = [0; RING_WORDS];
+        self.ring_len = 0;
+        self.overflow.clear();
+        self.cursor = 0;
+        self.len = 0;
     }
 }
 
@@ -170,5 +351,73 @@ mod tests {
         q.push(SimTime::from_secs(5), "mid");
         assert_eq!(q.pop().unwrap().1, "mid");
         assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    /// Spans all three tiers: active heap, ring window, overflow.
+    #[test]
+    fn far_future_spills_and_refills() {
+        let mut q = EventQueue::new();
+        let window_us = (RING_BUCKETS as u64) << BUCKET_SHIFT;
+        // Beyond the ring window from cursor 0 → overflow.
+        q.push(SimTime::from_micros(3 * window_us), "far");
+        q.push(SimTime::from_micros(7 * window_us), "farther");
+        // Inside the window → ring.
+        q.push(SimTime::from_micros(window_us / 2), "near");
+        // Active bucket → cur.
+        q.push(SimTime::ZERO, "now");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop().unwrap().1, "now");
+        assert_eq!(q.pop().unwrap().1, "near");
+        // Cursor jumped into overflow territory; a fresh near-future push
+        // interleaves correctly with the remaining overflow events.
+        q.push(SimTime::from_micros(3 * window_us + 1), "just-after-far");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop().unwrap().1, "just-after-far");
+        assert_eq!(q.pop().unwrap().1, "farther");
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Pushing an event earlier than the cursor's bucket (e.g. at the
+    /// current instant after the cursor advanced) still pops in order.
+    #[test]
+    fn past_bucket_push_goes_active() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), "later");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(10)));
+        // Cursor has advanced to the 10 s bucket; a push at 9 s lands in
+        // the active heap and still fires first.
+        q.push(SimTime::from_secs(9), "earlier");
+        assert_eq!(q.pop().unwrap().1, "earlier");
+        assert_eq!(q.pop().unwrap().1, "later");
+    }
+
+    /// Equal-time events pushed into different tiers (ring, then active
+    /// after cursor advance) keep insertion order.
+    #[test]
+    fn stable_across_tier_boundaries() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        q.push(t, 0);
+        q.push(SimTime::from_secs(1), 100);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 100)));
+        // Cursor is now at the 1 s bucket; t's bucket is still ahead.
+        q.push(t, 1);
+        q.push(t, 2);
+        assert_eq!(q.pop(), Some((t, 0)));
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn bucket_boundary_ordering() {
+        let mut q = EventQueue::new();
+        let w = 1u64 << BUCKET_SHIFT;
+        // Straddle a bucket boundary with adjacent microseconds.
+        q.push(SimTime::from_micros(w), "b1-start");
+        q.push(SimTime::from_micros(w - 1), "b0-end");
+        q.push(SimTime::from_micros(w + 1), "b1-second");
+        assert_eq!(q.pop().unwrap().1, "b0-end");
+        assert_eq!(q.pop().unwrap().1, "b1-start");
+        assert_eq!(q.pop().unwrap().1, "b1-second");
     }
 }

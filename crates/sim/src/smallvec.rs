@@ -1,0 +1,279 @@
+//! A safe small-vector: inline storage for the common small case, spilling
+//! to a heap `Vec` past `N` elements.
+//!
+//! Hot per-key collections in the overlay (chunk-index provider lists,
+//! per-tick request batches) hold a handful of elements almost always;
+//! storing them inline removes one heap allocation and one pointer chase
+//! per collection. The `T: Copy + Default` bound keeps the implementation
+//! entirely safe — the inline array is always fully initialized, so no
+//! `MaybeUninit` is needed — which is all the element types on these paths
+//! (`ChunkIndex`, `ChunkSeq`, ids) satisfy.
+
+/// A vector with inline capacity `N`, spilling to the heap when it grows
+/// past that.
+#[derive(Clone, Debug)]
+pub struct SmallVec<T: Copy + Default, const N: usize> {
+    /// Elements while inline (`spill` empty): `inline[..len]`.
+    inline: [T; N],
+    len: usize,
+    /// Heap storage once spilled; when non-empty it holds *all* elements
+    /// and `inline`/`len` are ignored.
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec {
+            inline: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// An empty small-vector (no heap allocation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.spilled() {
+            self.spill.len()
+        } else {
+            self.len
+        }
+    }
+
+    /// True if no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled() {
+            &self.spill
+        } else {
+            &self.inline[..self.len]
+        }
+    }
+
+    /// The elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled() {
+            &mut self.spill
+        } else {
+            &mut self.inline[..self.len]
+        }
+    }
+
+    /// Appends an element, spilling to the heap on inline overflow.
+    pub fn push(&mut self, value: T) {
+        if self.spilled() {
+            self.spill.push(value);
+        } else if self.len < N {
+            self.inline[self.len] = value;
+            self.len += 1;
+        } else {
+            let mut v = Vec::with_capacity(N * 2);
+            v.extend_from_slice(&self.inline);
+            v.push(value);
+            self.spill = v;
+            self.len = 0;
+        }
+    }
+
+    /// Removes and returns the element at `idx`, shifting the tail left.
+    ///
+    /// Panics if `idx` is out of bounds (same contract as [`Vec::remove`]).
+    pub fn remove(&mut self, idx: usize) -> T {
+        if self.spilled() {
+            self.spill.remove(idx)
+        } else {
+            assert!(idx < self.len, "index {idx} out of bounds ({})", self.len);
+            let v = self.inline[idx];
+            self.inline.copy_within(idx + 1..self.len, idx);
+            self.len -= 1;
+            v
+        }
+    }
+
+    /// Keeps only the elements for which `pred` holds, preserving order.
+    pub fn retain(&mut self, mut pred: impl FnMut(&T) -> bool) {
+        if self.spilled() {
+            self.spill.retain(|v| pred(v));
+        } else {
+            let mut kept = 0;
+            for i in 0..self.len {
+                if pred(&self.inline[i]) {
+                    self.inline[kept] = self.inline[i];
+                    kept += 1;
+                }
+            }
+            self.len = kept;
+        }
+    }
+
+    /// Removes all elements (keeps any heap allocation).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Converts into a plain `Vec` (reuses the heap allocation if already
+    /// spilled) — the boundary to wire types that stay `Vec`-shaped.
+    pub fn into_vec(mut self) -> Vec<T> {
+        if self.spilled() {
+            std::mem::take(&mut self.spill)
+        } else {
+            self.inline[..self.len].to_vec()
+        }
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> core::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> core::ops::Deref for SmallVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> core::ops::DerefMut for SmallVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut sv = Self::new();
+        sv.extend(iter);
+        sv
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = core::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_within_capacity() {
+        let mut sv: SmallVec<u64, 4> = SmallVec::new();
+        assert!(sv.is_empty());
+        for i in 0..4 {
+            sv.push(i);
+        }
+        assert_eq!(sv.len(), 4);
+        assert_eq!(sv.as_slice(), &[0, 1, 2, 3]);
+        assert!(!sv.spilled());
+    }
+
+    #[test]
+    fn spills_past_capacity_and_preserves_order() {
+        let mut sv: SmallVec<u64, 4> = SmallVec::new();
+        for i in 0..10 {
+            sv.push(i);
+        }
+        assert!(sv.spilled());
+        assert_eq!(sv.len(), 10);
+        assert_eq!(sv.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn remove_inline_and_spilled() {
+        let mut sv: SmallVec<u32, 3> = SmallVec::new();
+        sv.extend([1, 2, 3]);
+        assert_eq!(sv.remove(1), 2);
+        assert_eq!(sv.as_slice(), &[1, 3]);
+        sv.extend([4, 5, 6]); // spills
+        assert_eq!(sv.remove(0), 1);
+        assert_eq!(sv.as_slice(), &[3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn remove_oob_panics() {
+        let mut sv: SmallVec<u32, 3> = SmallVec::new();
+        sv.push(1);
+        sv.remove(1);
+    }
+
+    #[test]
+    fn retain_both_modes() {
+        let mut sv: SmallVec<u32, 8> = (0..6).collect();
+        sv.retain(|v| v % 2 == 0);
+        assert_eq!(sv.as_slice(), &[0, 2, 4]);
+        let mut big: SmallVec<u32, 2> = (0..6).collect();
+        big.retain(|v| v % 2 == 1);
+        assert_eq!(big.as_slice(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn mutation_through_slice() {
+        let mut sv: SmallVec<u32, 4> = (0..3).collect();
+        sv[1] = 99;
+        assert_eq!(sv.as_slice(), &[0, 99, 2]);
+        for v in sv.as_mut_slice() {
+            *v += 1;
+        }
+        assert_eq!(sv.as_slice(), &[1, 100, 3]);
+    }
+
+    #[test]
+    fn into_vec_both_modes() {
+        let small: SmallVec<u32, 4> = (0..3).collect();
+        assert_eq!(small.into_vec(), vec![0, 1, 2]);
+        let big: SmallVec<u32, 2> = (0..5).collect();
+        assert_eq!(big.into_vec(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_keeps_working() {
+        let mut sv: SmallVec<u32, 2> = (0..5).collect();
+        sv.clear();
+        assert!(sv.is_empty());
+        sv.push(7);
+        assert_eq!(sv.as_slice(), &[7]);
+    }
+}

@@ -8,7 +8,7 @@
 use dco_bench::sweep::{expand, run_cell, run_sweep, SweepConfig};
 use dco_bench::{run_with_stats, Method, RunParams};
 use dco_sim::time::{SimDuration, SimTime};
-use dco_workload::ChurnConfig;
+use dco_workload::{ChurnConfig, ScenarioGrid};
 
 fn params(seed: u64, churn: bool) -> RunParams {
     RunParams {
@@ -123,6 +123,100 @@ fn a_cell_run_alone_matches_the_same_cell_inside_a_sweep() {
             "cell {cell:?} differs alone vs in-sweep"
         );
     }
+}
+
+/// Golden trace digests for the five cross-protocol seeds, captured on the
+/// seed engine (binary-heap calendar, deep-copy fan-out) before the hot-path
+/// overhaul. Any engine or data-structure change that alters one of these
+/// digests has changed *simulation behaviour*, not just performance.
+/// Regenerate (only when behaviour is changed on purpose) with
+/// `cargo run --release --bin dco-perf -- --digests`.
+const GOLDEN_DIGESTS: &[(&str, bool, u64, u64)] = &[
+    ("DCO", false, 0x1f7c736e930dc180, 0xeb1f0a0f0408c949),
+    ("DCO", false, 0xe3caf2b8bd3796b7, 0xeb1f0a0f0408c949),
+    ("DCO", false, 0x1140ddf5c70c18ef, 0xeb1f0a0f0408c949),
+    ("DCO", false, 0xeb8e4a6bdf06a8f7, 0xeb1f0a0f0408c949),
+    ("DCO", false, 0xa4e06ed4afd6b5a, 0xeb1f0a0f0408c949),
+    ("DCO", true, 0x1f7c736e930dc180, 0x91814ac34cefd264),
+    ("DCO", true, 0xe3caf2b8bd3796b7, 0x610299b92f62c113),
+    ("DCO", true, 0x1140ddf5c70c18ef, 0xdac3bceb9917f5b7),
+    ("DCO", true, 0xeb8e4a6bdf06a8f7, 0x2b700c8c80c0478f),
+    ("DCO", true, 0xa4e06ed4afd6b5a, 0x3e3e73738e977018),
+    ("pull", false, 0x1f7c736e930dc180, 0xaac1d6c5a0debbe6),
+    ("pull", false, 0xe3caf2b8bd3796b7, 0xf5b33c078a38d699),
+    ("pull", false, 0x1140ddf5c70c18ef, 0x088d3ddff74400ba),
+    ("pull", false, 0xeb8e4a6bdf06a8f7, 0x96a25b6cae659185),
+    ("pull", false, 0xa4e06ed4afd6b5a, 0x5e770aeac4397ca0),
+    ("pull", true, 0x1f7c736e930dc180, 0x18a0569e3e5b9ff7),
+    ("pull", true, 0xe3caf2b8bd3796b7, 0x2ada765d96e3eee3),
+    ("pull", true, 0x1140ddf5c70c18ef, 0xe0bb3864331fbc10),
+    ("pull", true, 0xeb8e4a6bdf06a8f7, 0xb44ac0b908ef708d),
+    ("pull", true, 0xa4e06ed4afd6b5a, 0x82c31e63575e0fde),
+    ("push", false, 0x1f7c736e930dc180, 0x4339b5a5c51726c8),
+    ("push", false, 0xe3caf2b8bd3796b7, 0xa1fbc24713274eed),
+    ("push", false, 0x1140ddf5c70c18ef, 0x2af6317cb127250f),
+    ("push", false, 0xeb8e4a6bdf06a8f7, 0xa91c1fdfde84e35a),
+    ("push", false, 0xa4e06ed4afd6b5a, 0x3e21ad40e4e9554c),
+    ("push", true, 0x1f7c736e930dc180, 0xa9aeec37460b8c7e),
+    ("push", true, 0xe3caf2b8bd3796b7, 0xfb929974d8996783),
+    ("push", true, 0x1140ddf5c70c18ef, 0x9b1a6cbc6346b296),
+    ("push", true, 0xeb8e4a6bdf06a8f7, 0x4ca129f5f5fcc543),
+    ("push", true, 0xa4e06ed4afd6b5a, 0x8a5305d1993cc1f1),
+    ("tree", false, 0x1f7c736e930dc180, 0x9462c02dc7fef131),
+    ("tree", false, 0xe3caf2b8bd3796b7, 0x9462c02dc7fef131),
+    ("tree", false, 0x1140ddf5c70c18ef, 0x9462c02dc7fef131),
+    ("tree", false, 0xeb8e4a6bdf06a8f7, 0x9462c02dc7fef131),
+    ("tree", false, 0xa4e06ed4afd6b5a, 0x9462c02dc7fef131),
+    ("tree", true, 0x1f7c736e930dc180, 0xe0afc50e5bb72815),
+    ("tree", true, 0xe3caf2b8bd3796b7, 0x23f7c1aad63f2863),
+    ("tree", true, 0x1140ddf5c70c18ef, 0xce012d8767e5bb09),
+    ("tree", true, 0xeb8e4a6bdf06a8f7, 0x64de7c7a46f4ec88),
+    ("tree", true, 0xa4e06ed4afd6b5a, 0x9e289753212850c9),
+    ("tree*", false, 0x1f7c736e930dc180, 0xd46d51a69854e05a),
+    ("tree*", false, 0xe3caf2b8bd3796b7, 0xd46d51a69854e05a),
+    ("tree*", false, 0x1140ddf5c70c18ef, 0xd46d51a69854e05a),
+    ("tree*", false, 0xeb8e4a6bdf06a8f7, 0xd46d51a69854e05a),
+    ("tree*", false, 0xa4e06ed4afd6b5a, 0xd46d51a69854e05a),
+    ("tree*", true, 0x1f7c736e930dc180, 0x60e3638850a2688a),
+    ("tree*", true, 0xe3caf2b8bd3796b7, 0x6e961630dd27d3fb),
+    ("tree*", true, 0x1140ddf5c70c18ef, 0x1902e558858328d6),
+    ("tree*", true, 0xeb8e4a6bdf06a8f7, 0xe31c4765ab47bd0e),
+    ("tree*", true, 0xa4e06ed4afd6b5a, 0x9e0e2d95f81068f7),
+];
+
+#[test]
+fn trace_digests_match_the_pinned_golden_table() {
+    let methods = [
+        Method::Dco,
+        Method::Pull,
+        Method::Push,
+        Method::Tree,
+        Method::TreeStar,
+    ];
+    let seeds = ScenarioGrid::seed_list(0xC2055, 5);
+    let mut checked = 0;
+    for method in methods {
+        for churn in [false, true] {
+            for &seed in &seeds {
+                let got = run_with_stats(method, &params(seed, churn))
+                    .proof
+                    .trace_digest;
+                let want = GOLDEN_DIGESTS
+                    .iter()
+                    .find(|(m, c, s, _)| *m == method.label() && *c == churn && *s == seed)
+                    .map(|(.., d)| *d)
+                    .expect("golden table covers every (method, churn, seed) cell");
+                assert_eq!(
+                    got,
+                    want,
+                    "{} churn={churn} seed={seed:#x}: digest {got:#018x} != golden {want:#018x}",
+                    method.label()
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, GOLDEN_DIGESTS.len(), "every golden row exercised");
 }
 
 #[test]
