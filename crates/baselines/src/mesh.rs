@@ -6,16 +6,22 @@
 //! (bidirectional links), and — because meshes are "naturally resilient to
 //! churn" — replaces a dead neighbor with a fresh random pick, playing the
 //! role of the membership tracker real deployments run.
+//!
+//! The adjacency lists live in one pooled [`ListSlab`] (linked chains
+//! through a shared arena) instead of a `Vec<Vec<NodeId>>`: at N = 100k
+//! that is two flat allocations instead of one hundred thousand small
+//! ones, with identical insertion-order semantics.
 
 use dco_sim::node::NodeId;
 use dco_sim::rng::SimRng;
+use dco_sim::slab::ListSlab;
 
 /// The random mesh graph plus liveness.
 #[derive(Clone, Debug)]
 pub struct MeshCore {
     k: usize,
     alive: Vec<bool>,
-    links: Vec<Vec<NodeId>>,
+    links: ListSlab,
 }
 
 impl MeshCore {
@@ -24,7 +30,8 @@ impl MeshCore {
         MeshCore {
             k,
             alive: vec![false; n],
-            links: vec![Vec::new(); n],
+            // Bidirectional links ⇒ ~n·k pool entries once everyone joined.
+            links: ListSlab::new(n, n.saturating_mul(k)),
         }
     }
 
@@ -46,28 +53,47 @@ impl MeshCore {
             .collect()
     }
 
-    /// The neighbor list of `node`.
-    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.links[node.index()]
+    /// The neighbors of `node`, in link-insertion order.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.links.iter(node.index()).map(NodeId)
+    }
+
+    /// `node`'s current neighbor count.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.links.len(node.index())
+    }
+
+    /// The neighbor list of `node` as an owned vector (membership events
+    /// and tests; the per-tick hot paths iterate instead).
+    pub fn neighbors_vec(&self, node: NodeId) -> Vec<NodeId> {
+        self.neighbors(node).collect()
+    }
+
+    fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.links.contains(a.index(), b.0)
     }
 
     fn link(&mut self, a: NodeId, b: NodeId) {
         if a == b {
             return;
         }
-        if !self.links[a.index()].contains(&b) {
-            self.links[a.index()].push(b);
+        if !self.has_link(a, b) {
+            self.links.push_back(a.index(), b.0);
         }
-        if !self.links[b.index()].contains(&a) {
-            self.links[b.index()].push(a);
+        if !self.has_link(b, a) {
+            self.links.push_back(b.index(), a.0);
         }
     }
 
     fn unlink_everywhere(&mut self, node: NodeId) {
-        for l in &mut self.links {
-            l.retain(|&n| n != node);
+        // Sever the reverse edges through the node's own list (links are
+        // bidirectional, so only its neighbors can hold an edge to it),
+        // then drop the list itself.
+        let neighbors = self.neighbors_vec(node);
+        for nb in neighbors {
+            self.links.remove(nb.index(), node.0);
         }
-        self.links[node.index()].clear();
+        self.links.clear(node.index());
     }
 
     /// Brings `node` up and wires it to up to `k` random alive peers.
@@ -77,14 +103,14 @@ impl MeshCore {
         let mut candidates: Vec<NodeId> = self
             .alive_nodes()
             .into_iter()
-            .filter(|&n| n != node && !self.links[node.index()].contains(&n))
+            .filter(|&n| n != node && !self.has_link(node, n))
             .collect();
         rng.shuffle(&mut candidates);
-        let need = self.k.saturating_sub(self.links[node.index()].len());
+        let need = self.k.saturating_sub(self.degree(node));
         for &peer in candidates.iter().take(need) {
             self.link(node, peer);
         }
-        self.links[node.index()].clone()
+        self.neighbors_vec(node)
     }
 
     /// Takes `node` down, severs its links, and gives each bereaved
@@ -96,7 +122,7 @@ impl MeshCore {
             return Vec::new();
         }
         self.alive[node.index()] = false;
-        let bereaved = self.links[node.index()].clone();
+        let bereaved = self.neighbors_vec(node);
         self.unlink_everywhere(node);
         let mut repairs = Vec::new();
         for b in bereaved {
@@ -106,7 +132,7 @@ impl MeshCore {
             let mut candidates: Vec<NodeId> = self
                 .alive_nodes()
                 .into_iter()
-                .filter(|&n| n != b && !self.links[b.index()].contains(&n))
+                .filter(|&n| n != b && !self.has_link(b, n))
                 .collect();
             if candidates.is_empty() {
                 continue;
@@ -124,11 +150,7 @@ impl MeshCore {
         if alive.is_empty() {
             return 0.0;
         }
-        alive
-            .iter()
-            .map(|&n| self.links[n.index()].len() as f64)
-            .sum::<f64>()
-            / alive.len() as f64
+        alive.iter().map(|&n| self.degree(n) as f64).sum::<f64>() / alive.len() as f64
     }
 }
 
@@ -150,11 +172,7 @@ mod tests {
         // Everyone has at least k neighbors (links are bidirectional so
         // some have more).
         for i in 0..32u32 {
-            assert!(
-                m.neighbors(NodeId(i)).len() >= 4,
-                "N{i} has {}",
-                m.neighbors(NodeId(i)).len()
-            );
+            assert!(m.degree(NodeId(i)) >= 4, "N{i} has {}", m.degree(NodeId(i)));
         }
         assert!(m.mean_degree() >= 4.0);
     }
@@ -167,9 +185,9 @@ mod tests {
             m.join(NodeId(i), &mut r);
         }
         for i in 0..8u32 {
-            for &n in m.neighbors(NodeId(i)) {
+            for n in m.neighbors_vec(NodeId(i)) {
                 assert_ne!(n, NodeId(i), "no self-links");
-                assert!(m.neighbors(n).contains(&NodeId(i)), "symmetry");
+                assert!(m.neighbors(n).any(|x| x == NodeId(i)), "symmetry");
             }
         }
     }
@@ -182,7 +200,7 @@ mod tests {
             m.join(NodeId(i), &mut r);
         }
         for i in 0..4u32 {
-            assert_eq!(m.neighbors(NodeId(i)).len(), 3, "complete graph of 4");
+            assert_eq!(m.degree(NodeId(i)), 3, "complete graph of 4");
         }
     }
 
@@ -194,12 +212,12 @@ mod tests {
             m.join(NodeId(i), &mut r);
         }
         let victim = NodeId(3);
-        let bereaved_before: Vec<NodeId> = m.neighbors(victim).to_vec();
+        let bereaved_before: Vec<NodeId> = m.neighbors_vec(victim);
         let repairs = m.leave(victim, &mut r);
         assert!(!m.is_alive(victim));
         for i in 0..16u32 {
             assert!(
-                !m.neighbors(NodeId(i)).contains(&victim),
+                !m.neighbors(NodeId(i)).any(|x| x == victim),
                 "N{i} still linked"
             );
         }
@@ -233,7 +251,7 @@ mod tests {
                 m.join(NodeId(i), &mut r);
             }
             (0..20u32)
-                .map(|i| m.neighbors(NodeId(i)).to_vec())
+                .map(|i| m.neighbors_vec(NodeId(i)))
                 .collect::<Vec<_>>()
         };
         assert_eq!(build(1), build(1));

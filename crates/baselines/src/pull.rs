@@ -12,6 +12,8 @@ use dco_core::buffer::BufferMap;
 use dco_core::chunk::ChunkSeq;
 use dco_metrics::StreamObserver;
 use dco_sim::prelude::*;
+use dco_sim::slab::SlotTable;
+use dco_sim::smallvec::SmallVec;
 
 use crate::config::BaselineConfig;
 use crate::mesh::MeshCore;
@@ -69,8 +71,6 @@ struct PullNode {
     /// receivers; copy-on-write ([`Rc::make_mut`]) on the rare local
     /// corrections (miss replies, request timeouts).
     maps: HashMap<u32, Rc<BufferMap>>,
-    /// Outstanding requests: seq → provider.
-    pending: HashMap<u32, NodeId>,
     /// Round-robin cursor over neighbors.
     cursor: usize,
     first_seq: ChunkSeq,
@@ -84,6 +84,10 @@ pub struct PullProtocol {
     cfg: BaselineConfig,
     mesh: MeshCore,
     nodes: Vec<Option<PullNode>>,
+    /// Outstanding requests, pooled across nodes: node → (seq → provider).
+    /// At most `max_inflight` entries per node, so one flat
+    /// [`SlotTable`] replaces a per-node `HashMap`.
+    pending: SlotTable<u32>,
     next_seq: ChunkSeq,
     /// Reception records for the metrics.
     pub obs: StreamObserver,
@@ -96,6 +100,7 @@ impl PullProtocol {
         PullProtocol {
             mesh: MeshCore::new(n, cfg.neighbors),
             nodes: (0..n).map(|_| None).collect(),
+            pending: SlotTable::new(n, cfg.max_inflight.max(1)),
             next_seq: ChunkSeq(0),
             obs: StreamObserver::new(n, cfg.n_chunks as usize),
             cfg,
@@ -128,7 +133,7 @@ impl PullProtocol {
             return;
         };
         let snap = Rc::new(st.buffer.snapshot());
-        for &nb in self.mesh.neighbors(node) {
+        for nb in self.mesh.neighbors(node) {
             ctx.send_control(node, nb, PullMsg::Bufmap(Rc::clone(&snap)), "pull.bufmap");
         }
     }
@@ -137,21 +142,23 @@ impl PullProtocol {
         let Some(latest) = self.latest(ctx.now()) else {
             return;
         };
-        // Direct field borrows so the mesh's neighbor slice can be walked
-        // while the node state is mutated — no per-tick neighbor copy.
-        let neighbors = self.mesh.neighbors(node);
+        // Gather the neighbor list once per tick (stack-allocated for the
+        // common degrees) so the round-robin can index it while the node
+        // state and the pooled pending table are borrowed mutably.
+        let neighbors: SmallVec<NodeId, 32> = self.mesh.neighbors(node).collect();
         if neighbors.is_empty() {
             return;
         }
         let timeout = self.cfg.request_timeout;
         let max_inflight = self.cfg.max_inflight;
+        let pending = &mut self.pending;
         let Some(st) = self.nodes.get_mut(node.index()).and_then(Option::as_mut) else {
             return;
         };
         if latest < st.first_seq {
             return;
         }
-        let budget = max_inflight.saturating_sub(st.pending.len());
+        let budget = max_inflight.saturating_sub(pending.len(node.index()));
         if budget == 0 {
             return;
         }
@@ -163,7 +170,6 @@ impl PullProtocol {
         let history_end = ChunkSeq(session_start.0.wrapping_sub(1));
         let buffer = &st.buffer;
         let maps = &st.maps;
-        let pending = &mut st.pending;
         let cursor = &mut st.cursor;
         let mut issued = 0usize;
         let session = buffer.missing_in_iter(session_start, latest);
@@ -175,7 +181,7 @@ impl PullProtocol {
             if issued >= budget {
                 break;
             }
-            if pending.contains_key(&seq.0) {
+            if pending.contains(node.index(), seq.0) {
                 continue;
             }
             // Round-robin over neighbors until one advertises the chunk.
@@ -191,7 +197,7 @@ impl PullProtocol {
                 }
             }
             if let Some(p) = chosen {
-                pending.insert(seq.0, p);
+                pending.insert(node.index(), seq.0, p.0);
                 issued += 1;
                 ctx.send_control(node, p, PullMsg::Request { seq }, "pull.request");
                 ctx.set_timer(
@@ -220,11 +226,13 @@ impl Protocol for PullProtocol {
         self.nodes[node.index()] = Some(PullNode {
             buffer: BufferMap::new(self.cfg.n_chunks),
             maps: HashMap::new(),
-            pending: HashMap::new(),
             cursor: 0,
             first_seq: ChunkSeq(0),
             session_seq,
         });
+        // The pooled pending table outlives the node state; a (re)joining
+        // node starts with an empty segment.
+        self.pending.clear(node.index());
         self.mesh.join(node, ctx.rng());
         if node == NodeId(0) {
             ctx.set_timer(node, SimDuration::ZERO, PullTimer::Generate);
@@ -259,15 +267,14 @@ impl Protocol for PullProtocol {
             PullMsg::Data { seq } => {
                 let now = ctx.now();
                 if let Some(st) = self.state_mut(node) {
-                    st.pending.remove(&seq.0);
                     if st.buffer.insert(seq) {
                         self.obs.record_received(seq.0, node, now);
                     }
                 }
+                self.pending.remove(node.index(), seq.0);
             }
             PullMsg::Miss { seq } => {
                 if let Some(st) = self.state_mut(node) {
-                    st.pending.remove(&seq.0);
                     // The advertised map was stale; drop the bit so the
                     // round-robin moves on (copy-on-write: the sender's
                     // other receivers keep the shared original).
@@ -275,14 +282,12 @@ impl Protocol for PullProtocol {
                         Rc::make_mut(m).remove(seq);
                     }
                 }
+                self.pending.remove(node.index(), seq.0);
             }
             PullMsg::Busy { seq } => {
-                if let Some(st) = self.state_mut(node) {
-                    // Keep the advertisement (the holder does have it);
-                    // the round-robin simply tries another neighbor next
-                    // tick.
-                    st.pending.remove(&seq.0);
-                }
+                // Keep the advertisement (the holder does have it); the
+                // round-robin simply tries another neighbor next tick.
+                self.pending.remove(node.index(), seq.0);
             }
         }
     }
@@ -318,11 +323,11 @@ impl Protocol for PullProtocol {
                 ctx.set_timer(node, self.cfg.pull_tick, PullTimer::PullTick);
             }
             PullTimer::RequestTimeout { seq, provider } => {
-                if let Some(st) = self.state_mut(node) {
-                    if st.pending.get(&seq.0) == Some(&provider) {
-                        st.pending.remove(&seq.0);
-                        // Assume the neighbor is gone or useless for this
-                        // chunk; forget its advertisement.
+                if self.pending.get(node.index(), seq.0) == Some(provider.0) {
+                    self.pending.remove(node.index(), seq.0);
+                    // Assume the neighbor is gone or useless for this
+                    // chunk; forget its advertisement.
+                    if let Some(st) = self.state_mut(node) {
                         if let Some(m) = st.maps.get_mut(&provider.0) {
                             Rc::make_mut(m).remove(seq);
                         }
@@ -335,6 +340,7 @@ impl Protocol for PullProtocol {
     fn on_leave(&mut self, node: NodeId, _graceful: bool, ctx: &mut Ctx<'_, Self>) {
         let repairs = self.mesh.leave(node, ctx.rng());
         self.nodes[node.index()] = None;
+        self.pending.clear(node.index());
         // Drop the dead neighbor's map everywhere and greet replacements
         // with a fresh map (tracker-assisted mesh repair).
         for (bereaved, replacement) in repairs {

@@ -14,6 +14,7 @@ use dco_core::buffer::BufferMap;
 use dco_core::chunk::ChunkSeq;
 use dco_metrics::StreamObserver;
 use dco_sim::prelude::*;
+use dco_sim::smallvec::SmallVec;
 
 use crate::config::BaselineConfig;
 use crate::mesh::MeshCore;
@@ -133,7 +134,7 @@ impl PushProtocol {
         // providers run this same catch-up every buffer-map round, so each
         // provider only volunteers with probability ~4/deg — the receiver
         // still sees a few repair offers per round without a pile-up.
-        let deg = self.mesh.neighbors(node).len().max(1);
+        let deg = self.mesh.degree(node).max(1);
         let idle = ctx.upload_backlog(node).is_zero();
         if !idle && deg > 4 && !ctx.rng().gen_bool((4.0 / deg as f64).clamp(0.0, 1.0)) {
             return;
@@ -173,9 +174,10 @@ impl PushProtocol {
         const RELAY_FANOUT: usize = 3;
         let busy_cap = self.cfg.busy_backlog;
         let chunk_size = self.cfg.chunk_size;
-        // Direct field borrows: the mesh's neighbor slice stays borrowed
-        // while the node state is mutated — no per-relay neighbor copy.
-        let neighbors = self.mesh.neighbors(node);
+        // Gather the neighbor list once (stack-allocated for the common
+        // degrees) so the rotating cursor can index it while the node state
+        // is mutated.
+        let neighbors: SmallVec<NodeId, 32> = self.mesh.neighbors(node).collect();
         if neighbors.is_empty() {
             return;
         }
@@ -283,7 +285,7 @@ impl Protocol for PushProtocol {
                     .as_ref()
                     .map(|s| Rc::new(s.buffer.snapshot()));
                 if let Some(snap) = snap {
-                    for &nb in self.mesh.neighbors(node) {
+                    for nb in self.mesh.neighbors(node) {
                         ctx.send_control(
                             node,
                             nb,

@@ -12,6 +12,7 @@ use dco_core::index::{ChunkIndex, IndexTable, SelectPolicy};
 use dco_dht::chord::{ChordConfig, ChordNet, RouteDecision, RouteStep};
 use dco_dht::hash::{hash_name, hash_node};
 use dco_dht::id::{ChordId, Peer};
+use dco_metrics::{RetainedObserver, StreamObserver};
 use dco_sim::net::Kbps;
 use dco_sim::node::NodeId;
 use dco_sim::queue::EventQueue;
@@ -146,6 +147,67 @@ fn bench_buffer_map() {
     });
 }
 
+/// One reception script: 1k nodes × 100 chunks, each pair hit once plus a
+/// 10% duplicate tail — the observer record path the simulation drives
+/// once per chunk delivery.
+fn observer_script() -> Vec<(u32, NodeId, SimTime)> {
+    const NODES: u32 = 1_000;
+    const CHUNKS: u32 = 100;
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut script = Vec::with_capacity((NODES * CHUNKS + NODES * CHUNKS / 10) as usize);
+    for seq in 0..CHUNKS {
+        for node in 0..NODES {
+            let t = SimTime::from_micros(u64::from(seq) * 1_000_000 + rng.gen_range(0..900_000u64));
+            script.push((seq, NodeId(node), t));
+        }
+    }
+    for _ in 0..(NODES * CHUNKS / 10) {
+        let seq = rng.gen_range(0..CHUNKS);
+        let node = rng.gen_range(0..NODES);
+        let t = SimTime::from_micros(u64::from(seq) * 1_000_000 + rng.gen_range(0..900_000u64));
+        script.push((seq, NodeId(node), t));
+    }
+    script
+}
+
+fn bench_observer_record() {
+    let script = observer_script();
+    bench("observer/flat_record_110k", 20, || {
+        let mut obs = StreamObserver::new(1_000, 100);
+        for seq in 0..100u32 {
+            obs.record_generated(seq, SimTime::from_micros(u64::from(seq) * 1_000_000));
+        }
+        for &(seq, node, t) in &script {
+            obs.record_received(seq, node, t);
+        }
+        obs.duplicate_receptions()
+    });
+    bench("observer/retained_record_110k", 20, || {
+        let mut obs = RetainedObserver::new(1_000, 100);
+        for seq in 0..100u32 {
+            obs.record_generated(seq, SimTime::from_micros(u64::from(seq) * 1_000_000));
+        }
+        for &(seq, node, t) in &script {
+            obs.record_received(seq, node, t);
+        }
+        obs.rereceptions()
+    });
+    // Query side: the timeline fold the figure extractor runs once per run.
+    let mut obs = StreamObserver::new(1_000, 100);
+    for seq in 0..100u32 {
+        obs.record_generated(seq, SimTime::from_micros(u64::from(seq) * 1_000_000));
+        for node in 1..1_000u32 {
+            obs.mark_expected(seq, NodeId(node));
+        }
+    }
+    for &(seq, node, t) in &script {
+        obs.record_received(seq, node, t);
+    }
+    bench("observer/received_by_second_200s", 50, || {
+        black_box(obs.received_by_second(200)).1
+    });
+}
+
 fn main() {
     header("micro");
     bench_event_queue();
@@ -153,4 +215,5 @@ fn main() {
     bench_chord_routing();
     bench_index_table();
     bench_buffer_map();
+    bench_observer_record();
 }

@@ -11,12 +11,19 @@
 //! ```text
 //! dco-perf [--populations 1000,5000,10000] [--runs 5]
 //!          [--out BENCH_sim_core.json] [--label NAME] [--stdout]
+//! dco-perf --scale        # large-N memory ladder → BENCH_scale.json
 //! dco-perf --digests      # golden trace-digest table for tests/determinism.rs
 //! ```
 //!
 //! Every run also records its trace digest: static DCO runs are
 //! deterministic, so the digest per population doubles as a cross-engine
 //! determinism check (an optimized engine must reproduce it bit-for-bit).
+//!
+//! `--scale` runs the memory ladder (N = 1k → 100k, one run each) and
+//! writes `BENCH_scale.json`: per tier, wall clock, peak live bytes (from
+//! the counting allocator's high-water mark) and bytes per node. The
+//! bytes/node column is the flat-layout check — it must stay roughly
+//! constant as N grows (no super-linear memory).
 
 use std::process::ExitCode;
 
@@ -39,10 +46,23 @@ const PRE_PR_BASELINE: &[(u32, f64, u64, u64)] = &[
     (10_000, 141439.299442, 91_365_887, 0x10ef_10a0_8935_a8b8),
 ];
 
+/// Digests of the figures workload measured on the retained-observer
+/// engine (the commit before the flat-layout PR) at the large-N tiers the
+/// seed engine could not reach in reasonable time. The flat engine must
+/// reproduce them bit-for-bit: the layout change is not allowed to move a
+/// single event.
+const PRE_FLAT_DIGESTS: &[(u32, u64, u64)] = &[
+    (50_000, 572_125_634, 0x5b90_2f59_2f12_da68),
+    (100_000, 1_270_885_329, 0x79c2_50f0_fd68_ba07),
+];
+
 const PRE_PR_LABEL: &str = "pre-pr2-seed-engine";
 const DEFAULT_POPULATIONS: [u32; 3] = [1_000, 5_000, 10_000];
+/// The `--scale` memory ladder.
+const SCALE_POPULATIONS: [u32; 4] = [1_000, 10_000, 50_000, 100_000];
 const DEFAULT_RUNS: usize = 5;
 const DEFAULT_OUT: &str = "BENCH_sim_core.json";
+const SCALE_OUT: &str = "BENCH_scale.json";
 
 /// The figures workload at population `n`: §IV defaults with the node
 /// count overridden and the seed fixed (static DCO is seed-invariant).
@@ -71,6 +91,18 @@ struct PopulationReport {
     trace_digest: u64,
 }
 
+impl PopulationReport {
+    /// Peak live bytes over the runs (they are deterministic, so max ≈
+    /// median; max is robust against a cold first run).
+    fn peak_live_bytes(&self) -> u64 {
+        self.samples
+            .iter()
+            .map(|s| s.peak_live_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 fn measure_population(n_nodes: u32, runs: usize) -> PopulationReport {
     let params = figures_params(n_nodes);
     let mut samples = Vec::with_capacity(runs);
@@ -80,13 +112,14 @@ fn measure_population(n_nodes: u32, runs: usize) -> PopulationReport {
         let stats = run_with_stats(Method::Dco, &params);
         let sample = meter.finish(stats.proof.events);
         eprintln!(
-            "  n={n_nodes} run {}/{}: {:.1} ms, {} events ({:.2} Mev/s), {} allocs",
+            "  n={n_nodes} run {}/{}: {:.1} ms, {} events ({:.2} Mev/s), {} allocs, peak {:.1} MiB",
             run + 1,
             runs,
             sample.wall_ms(),
             sample.events,
             sample.events_per_sec() / 1e6,
             sample.alloc.allocs,
+            sample.peak_live_bytes as f64 / (1024.0 * 1024.0),
         );
         match trace_digest {
             None => trace_digest = Some(stats.proof.trace_digest),
@@ -97,11 +130,23 @@ fn measure_population(n_nodes: u32, runs: usize) -> PopulationReport {
         }
         samples.push(sample);
     }
-    PopulationReport {
+    let report = PopulationReport {
         n_nodes,
         samples,
         trace_digest: trace_digest.expect("runs >= 1"),
+    };
+    if let Some((_, events, digest)) = PRE_FLAT_DIGESTS.iter().find(|(n, ..)| *n == n_nodes) {
+        let sample_events = report.samples[0].events;
+        assert_eq!(
+            *digest, report.trace_digest,
+            "n={n_nodes}: trace digest {:#018x} diverged from the pre-flat engine — \
+             the layout change moved an event",
+            report.trace_digest
+        );
+        assert_eq!(*events, sample_events, "n={n_nodes}: event count diverged");
+        eprintln!("  n={n_nodes}: digest matches pre-flat engine");
     }
+    report
 }
 
 fn population_json(rep: &PopulationReport) -> Json {
@@ -123,6 +168,13 @@ fn population_json(rep: &PopulationReport) -> Json {
         .min()
         .unwrap_or(0);
     let alloc_bytes = rep.samples.iter().map(|s| s.alloc.bytes).min().unwrap_or(0);
+    let peak_live = rep.peak_live_bytes();
+    let live_end = rep
+        .samples
+        .iter()
+        .map(|s| s.live_bytes_end)
+        .max()
+        .unwrap_or(0);
     let baseline = PRE_PR_BASELINE.iter().find(|(n, ..)| *n == rep.n_nodes);
     let mut pairs = vec![
         ("n_nodes", Json::Int(u64::from(rep.n_nodes))),
@@ -134,6 +186,12 @@ fn population_json(rep: &PopulationReport) -> Json {
         ("events_per_sec_median", Json::Num(events_per_sec)),
         ("allocs_min", Json::Int(allocs)),
         ("alloc_bytes_min", Json::Int(alloc_bytes)),
+        ("peak_live_bytes", Json::Int(peak_live)),
+        (
+            "bytes_per_node",
+            Json::Int(peak_live / u64::from(rep.n_nodes.max(1))),
+        ),
+        ("live_bytes_end", Json::Int(live_end)),
         ("trace_digest", Json::hex(rep.trace_digest)),
     ];
     if let Some((_, base_ms, base_events, base_digest)) = baseline {
@@ -210,6 +268,66 @@ fn report_json(label: &str, runs: usize, reports: &[PopulationReport]) -> Json {
     ])
 }
 
+/// Runs the `--scale` memory ladder: the figures workload at each tier of
+/// [`SCALE_POPULATIONS`], one run each, reporting peak live bytes and
+/// bytes/node. Returns the report JSON.
+fn run_scale(label: &str) -> Json {
+    let reports: Vec<PopulationReport> = SCALE_POPULATIONS
+        .iter()
+        .map(|&n| measure_population(n, 1))
+        .collect();
+    // Linearity check: bytes/node at the largest tier vs the smallest.
+    // Flat layouts keep this ratio near 1; the retained observer's
+    // audience × chunk growth pushed it well above.
+    let bytes_per_node =
+        |rep: &PopulationReport| rep.peak_live_bytes() as f64 / f64::from(rep.n_nodes.max(1));
+    let growth = match (reports.first(), reports.last()) {
+        (Some(a), Some(b)) if bytes_per_node(a) > 0.0 => bytes_per_node(b) / bytes_per_node(a),
+        _ => 0.0,
+    };
+    eprintln!("dco-perf: bytes/node growth smallest→largest tier: {growth:.2}x");
+    let tiers = reports
+        .iter()
+        .map(|rep| {
+            let sample = &rep.samples[0];
+            Json::obj(vec![
+                ("n_nodes", Json::Int(u64::from(rep.n_nodes))),
+                ("wall_ms", Json::Num(sample.wall_ms())),
+                ("events", Json::Int(sample.events)),
+                ("events_per_sec", Json::Num(sample.events_per_sec())),
+                ("peak_live_bytes", Json::Int(rep.peak_live_bytes())),
+                (
+                    "bytes_per_node",
+                    Json::Int(rep.peak_live_bytes() / u64::from(rep.n_nodes.max(1))),
+                ),
+                ("live_bytes_end", Json::Int(sample.live_bytes_end)),
+                ("trace_digest", Json::hex(rep.trace_digest)),
+            ])
+        })
+        .collect();
+    let params = figures_params(0);
+    Json::obj(vec![
+        ("schema", Json::str("dco-scale/v1")),
+        ("label", Json::str(label)),
+        (
+            "scenario",
+            Json::obj(vec![
+                ("method", Json::str("DCO")),
+                ("n_chunks", Json::Int(u64::from(params.n_chunks))),
+                ("neighbors", Json::Int(params.neighbors as u64)),
+                ("horizon_s", Json::Int(params.horizon.as_secs())),
+                ("seed", Json::Int(params.seed)),
+                ("churn", Json::Bool(false)),
+            ]),
+        ),
+        (
+            "bytes_per_node_growth_smallest_to_largest",
+            Json::Num(growth),
+        ),
+        ("populations", Json::Arr(tiers)),
+    ])
+}
+
 /// Prints the golden trace-digest table for the five cross-protocol seeds:
 /// every method, with and without churn, on the small determinism cell.
 /// The output is the Rust table pinned in `tests/determinism.rs`.
@@ -255,6 +373,7 @@ fn parse_args() -> Result<Args, String> {
         label: "current".to_string(),
         stdout: false,
         digests: false,
+        scale: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -275,6 +394,7 @@ fn parse_args() -> Result<Args, String> {
             "--label" => args.label = value("--label")?,
             "--stdout" => args.stdout = true,
             "--digests" => args.digests = true,
+            "--scale" => args.scale = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -291,6 +411,7 @@ struct Args {
     label: String,
     stdout: bool,
     digests: bool,
+    scale: bool,
 }
 
 fn main() -> ExitCode {
@@ -303,6 +424,27 @@ fn main() -> ExitCode {
     };
     if args.digests {
         print_digest_table();
+        return ExitCode::SUCCESS;
+    }
+    if args.scale {
+        eprintln!(
+            "dco-perf: memory-scale ladder, populations {:?}, 1 run each",
+            SCALE_POPULATIONS
+        );
+        let json = run_scale(&args.label).render_pretty();
+        let out = if args.out == DEFAULT_OUT {
+            SCALE_OUT
+        } else {
+            args.out.as_str()
+        };
+        if args.stdout {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("dco-perf: writing {out}: {e}");
+            return ExitCode::FAILURE;
+        } else {
+            eprintln!("dco-perf: wrote {out}");
+        }
         return ExitCode::SUCCESS;
     }
     eprintln!(

@@ -156,12 +156,23 @@ fn extract<P: Protocol>(
     fill_offset: dco_sim::time::SimDuration,
 ) -> RunResult {
     let secs = horizon.as_secs();
+    // One fold over the reception slab yields both per-second timelines
+    // (O(pairs + seconds) instead of O(pairs × seconds)); the counts are
+    // exactly `global_fill_ratio`'s numerator/denominator per second, so
+    // the derived floats are bit-identical to the per-sample originals.
+    let (cumulative, total) = obs.received_by_second(secs);
     let fill_timeline: Vec<(f64, f64)> = (0..=secs)
-        .map(|t| (t as f64, obs.global_fill_ratio(SimTime::from_secs(t))))
+        .map(|t| {
+            let ratio = if total == 0 {
+                0.0
+            } else {
+                cumulative[t as usize] as f64 / total as f64
+            };
+            (t as f64, ratio)
+        })
         .collect();
-    let received_timeline: Vec<(f64, f64)> = (0..=secs)
-        .map(|t| (t as f64, obs.received_percentage(SimTime::from_secs(t))))
-        .collect();
+    let received_timeline: Vec<(f64, f64)> =
+        fill_timeline.iter().map(|&(t, r)| (t, 100.0 * r)).collect();
     let overhead_timeline: Vec<(f64, f64)> = (0..=secs)
         .map(|t| (t as f64, sim.counters().control_through_second(t) as f64))
         .collect();

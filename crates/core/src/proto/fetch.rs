@@ -7,7 +7,7 @@ use dco_sim::smallvec::SmallVec;
 
 use crate::chunk::ChunkSeq;
 
-use super::{DcoMsg, DcoProtocol, DcoTimer, PendingFetch, Role};
+use super::{DcoMsg, DcoProtocol, DcoTimer, Role};
 
 impl DcoProtocol {
     // ------------------------------------------------------------------
@@ -44,10 +44,8 @@ impl DcoProtocol {
         } else {
             self.cfg.window.base_chunks
         };
-        let budget = self
-            .cfg
-            .max_inflight
-            .saturating_sub(st.pending.len() + st.lookups.len());
+        let inflight = self.pending.len(node.index()) + self.lookups.len(node.index());
+        let budget = self.cfg.max_inflight.saturating_sub(inflight);
         if budget == 0 {
             return;
         }
@@ -65,7 +63,10 @@ impl DcoProtocol {
             wanted.extend(
                 st.buffer
                     .missing_in_iter(session_start, end)
-                    .filter(|s| !st.pending.contains_key(&s.0) && !st.lookups.contains_key(&s.0))
+                    .filter(|s| {
+                        !self.pending.contains(node.index(), s.0)
+                            && !self.lookups.contains(node.index(), s.0)
+                    })
                     .take(budget),
             );
         }
@@ -79,7 +80,10 @@ impl DcoProtocol {
             wanted.extend(
                 st.buffer
                     .missing_in_iter(st.first_seq, ChunkSeq(session_start.0 - 1))
-                    .filter(|s| !st.pending.contains_key(&s.0) && !st.lookups.contains_key(&s.0))
+                    .filter(|s| {
+                        !self.pending.contains(node.index(), s.0)
+                            && !self.lookups.contains(node.index(), s.0)
+                    })
                     .take(1),
             );
         }
@@ -98,13 +102,13 @@ impl DcoProtocol {
     ) {
         let key = self.key_of(seq);
         let timeout = self.cfg.request_timeout;
-        let Some(st) = self.state_mut(node) else {
+        let Some((role, coordinator)) = self.state(node).map(|st| (st.role, st.coordinator)) else {
             return;
         };
-        st.lookups.insert(seq.0, ());
+        self.lookups.insert(node.index(), seq.0, ());
         ctx.set_timer(node, timeout, DcoTimer::LookupTimeout { seq });
-        if st.role == Role::Client {
-            if let Some(c) = st.coordinator {
+        if role == Role::Client {
+            if let Some(c) = coordinator {
                 ctx.send_control(node, c, DcoMsg::ClientLookup { seq, exclude }, "dco.lookup");
             }
             return;
@@ -128,19 +132,25 @@ impl DcoProtocol {
         let Some(st) = self.state_mut(node) else {
             return;
         };
-        st.lookups.remove(&seq.0);
         st.coord_failures = 0;
-        let Some(p) = provider else {
-            // No provider known yet: count a fetch failure and retry on the
-            // next tick (the window inflates per Eq. 2).
-            st.window.record_failure();
+        let answer = match provider {
+            Some(p) => Some((p, st.buffer.has(seq))),
+            None => {
+                // No provider known yet: count a fetch failure and retry on
+                // the next tick (the window inflates per Eq. 2).
+                st.window.record_failure();
+                None
+            }
+        };
+        self.lookups.remove(node.index(), seq.0);
+        let Some((p, already_buffered)) = answer else {
             self.fetch_failures += 1;
             return;
         };
-        if p == node || st.buffer.has(seq) || st.pending.contains_key(&seq.0) {
+        if p == node || already_buffered || self.pending.contains(node.index(), seq.0) {
             return;
         }
-        st.pending.insert(seq.0, PendingFetch { provider: p });
+        self.pending.insert(node.index(), seq.0, p.0);
         ctx.send_control(node, p, DcoMsg::ChunkRequest { seq }, "dco.request");
         ctx.set_timer(node, timeout, DcoTimer::RequestTimeout { seq, provider: p });
     }
@@ -182,10 +192,11 @@ impl DcoProtocol {
         ctx: &mut Ctx<'_, Self>,
     ) {
         let now = ctx.now();
-        let Some(st) = self.state_mut(node) else {
+        if self.state(node).is_none() {
             return;
-        };
-        st.pending.remove(&seq.0);
+        }
+        self.pending.remove(node.index(), seq.0);
+        let st = self.state_mut(node).expect("checked above");
         if !st.buffer.insert(seq) {
             return; // duplicate
         }
@@ -199,10 +210,11 @@ impl DcoProtocol {
     /// on the next tick (its round-robin moves to another provider).
     pub(super) fn handle_busy(&mut self, node: NodeId, seq: ChunkSeq, ctx: &mut Ctx<'_, Self>) {
         let _ = ctx;
-        let Some(st) = self.state_mut(node) else {
+        if self.state(node).is_none() {
             return;
-        };
-        if st.pending.remove(&seq.0).is_some() {
+        }
+        if self.pending.remove(node.index(), seq.0).is_some() {
+            let st = self.state_mut(node).expect("checked above");
             st.window.record_failure();
             self.fetch_failures += 1;
         }
@@ -218,17 +230,11 @@ impl DcoProtocol {
         seq: ChunkSeq,
         ctx: &mut Ctx<'_, Self>,
     ) {
-        let removed = match self.state_mut(node) {
-            Some(st) => {
-                let hit = st.pending.remove(&seq.0).is_some();
-                if hit {
-                    st.window.record_failure();
-                }
-                hit
-            }
-            None => false,
-        };
+        let removed =
+            self.state(node).is_some() && self.pending.remove(node.index(), seq.0).is_some();
         if removed {
+            let st = self.state_mut(node).expect("checked above");
+            st.window.record_failure();
             self.fetch_failures += 1;
             self.start_lookup(node, seq, Some(from), ctx);
         }
@@ -281,18 +287,12 @@ impl DcoProtocol {
         provider: NodeId,
         ctx: &mut Ctx<'_, Self>,
     ) {
-        let still_waiting = match self.state_mut(node) {
-            Some(st) => match st.pending.get(&seq.0) {
-                Some(p) if p.provider == provider => {
-                    st.pending.remove(&seq.0);
-                    st.window.record_failure();
-                    true
-                }
-                _ => false,
-            },
-            None => false,
-        };
+        let still_waiting =
+            self.state(node).is_some() && self.pending.get(node.index(), seq.0) == Some(provider.0);
         if still_waiting {
+            self.pending.remove(node.index(), seq.0);
+            let st = self.state_mut(node).expect("checked above");
+            st.window.record_failure();
             self.fetch_failures += 1;
             self.start_lookup(node, seq, Some(provider), ctx);
         }
@@ -308,12 +308,13 @@ impl DcoProtocol {
         ctx: &mut Ctx<'_, Self>,
     ) {
         let report_dead = {
-            let Some(st) = self.state_mut(node) else {
+            if self.state(node).is_none() {
                 return;
-            };
-            if st.lookups.remove(&seq.0).is_none() {
+            }
+            if self.lookups.remove(node.index(), seq.0).is_none() {
                 return; // answered in time
             }
+            let st = self.state_mut(node).expect("checked above");
             st.window.record_failure();
             if st.role == Role::Client {
                 st.coord_failures += 1;

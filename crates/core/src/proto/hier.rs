@@ -55,10 +55,8 @@ impl DcoProtocol {
 
     /// Coordinator side: record a new client.
     pub(super) fn handle_client_attach(&mut self, node: NodeId, from: NodeId) {
-        if let Some(st) = self.state_mut(node) {
-            if !st.clients.contains(&from) {
-                st.clients.push(from);
-            }
+        if self.state(node).is_some() && !self.clients.contains(node.index(), from.0) {
+            self.clients.push_back(node.index(), from.0);
         }
     }
 

@@ -30,13 +30,12 @@ mod ring;
 #[cfg(test)]
 mod tests;
 
-use std::collections::HashMap;
-
 use dco_dht::chord::{ChordConfig, ChordMsg, ChordNet};
 use dco_dht::hash::hash_node;
 use dco_dht::id::{ChordId, Peer};
 use dco_metrics::StreamObserver;
 use dco_sim::prelude::*;
+use dco_sim::slab::{ListSlab, SlotTable};
 
 use crate::buffer::BufferMap;
 use crate::chunk::{ChunkNamer, ChunkSeq};
@@ -311,20 +310,17 @@ pub enum Role {
     Client,
 }
 
-/// An in-flight chunk request.
-#[derive(Clone, Copy, Debug)]
-struct PendingFetch {
-    provider: NodeId,
-}
-
 /// Per-node protocol state.
+///
+/// The small per-node tables that used to live here as `HashMap`s — the
+/// pending chunk requests and in-flight lookups — are pooled across all
+/// nodes in [`DcoProtocol::pending`] / [`DcoProtocol::lookups`]
+/// ([`SlotTable`] slabs indexed by node), so a 100k-node run does not pay
+/// 200k hash tables' worth of allocations for tables that hold at most
+/// `max_inflight` entries.
 struct NodeState {
     role: Role,
     buffer: BufferMap,
-    /// Chunk requests awaiting data, by sequence.
-    pending: HashMap<u32, PendingFetch>,
-    /// Lookups awaiting a Provider answer, by sequence.
-    lookups: HashMap<u32, ()>,
     /// First chunk of the stream this viewer fetches (0 = full catch-up).
     first_seq: ChunkSeq,
     /// The live chunk at this session's join instant: the fetch loop
@@ -336,8 +332,6 @@ struct NodeState {
     joined_at: SimTime,
     /// Hierarchical: my coordinator.
     coordinator: Option<NodeId>,
-    /// Hierarchical (coordinator side): my clients.
-    clients: Vec<NodeId>,
     /// Hierarchical (coordinator side): stable clients by longevity.
     stable_clients: Vec<(NodeId, f64)>,
     /// Hierarchical (coordinator side): lookups since the last TierCheck.
@@ -363,15 +357,12 @@ impl NodeState {
         NodeState {
             role,
             buffer: BufferMap::new(cfg.n_chunks),
-            pending: HashMap::new(),
-            lookups: HashMap::new(),
             first_seq,
             session_seq,
             index: IndexTable::new(),
             window: PrefetchWindow::new(cfg.window.clone(), my_down),
             joined_at: now,
             coordinator: None,
-            clients: Vec::new(),
             stable_clients: Vec::new(),
             lookups_handled: 0,
             coord_failures: 0,
@@ -390,6 +381,14 @@ pub struct DcoProtocol {
     namer: ChunkNamer,
     chord: ChordNet,
     nodes: Vec<Option<NodeState>>,
+    /// Chunk requests awaiting data: node → (seq → provider's raw id).
+    /// Pooled for all nodes in one slab; bounded per node by
+    /// `max_inflight`.
+    pending: SlotTable<u32>,
+    /// Lookups awaiting a Provider answer: node → seq set.
+    lookups: SlotTable<()>,
+    /// Hierarchical (coordinator side): each coordinator's client roster.
+    clients: ListSlab,
     /// Reception records for the metrics.
     pub obs: StreamObserver,
     /// Next chunk the server will emit.
@@ -437,6 +436,9 @@ impl DcoProtocol {
             namer,
             chord,
             nodes: (0..n).map(|_| None).collect(),
+            pending: SlotTable::new(n, cfg.max_inflight.max(1)),
+            lookups: SlotTable::new(n, cfg.max_inflight.max(1)),
+            clients: ListSlab::new(n, 0),
             next_seq: ChunkSeq(0),
             coordinator_pool: vec![NodeId(0)],
             assign_cursor: 0,

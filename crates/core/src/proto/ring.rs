@@ -45,6 +45,11 @@ impl DcoProtocol {
             first_seq,
             session_seq,
         ));
+        // The pooled per-node tables outlive the NodeState; a (re)joining
+        // node starts with empty segments.
+        self.pending.clear(node.index());
+        self.lookups.clear(node.index());
+        self.clients.clear(node.index());
 
         if self.is_server(node) {
             if !self.cfg.static_ring {
@@ -143,6 +148,9 @@ impl DcoProtocol {
             self.chord.fail(node);
         }
         self.nodes[node.index()] = None;
+        self.pending.clear(node.index());
+        self.lookups.clear(node.index());
+        self.clients.clear(node.index());
     }
 
     fn arm_ring_timers(&self, node: NodeId, ctx: &mut Ctx<'_, Self>) {

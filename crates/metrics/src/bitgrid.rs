@@ -1,0 +1,180 @@
+//! A flat 2-D bit matrix.
+//!
+//! Backs the observer's audience record: one bit per `(chunk, node)` pair
+//! in a single `Vec<u64>` allocation — an 8× reduction over the nested
+//! `Vec<Vec<bool>>` layout it replaced, with the row fold the metrics run
+//! (`count_ones`, iterate-set-bits) compiled down to word operations.
+
+/// A rows × cols bit matrix in one contiguous word slab. Rows can grow;
+/// the column count is fixed at construction.
+#[derive(Clone, Debug)]
+pub struct BitGrid {
+    cols: usize,
+    /// Words per row (rows are word-aligned so row operations never touch
+    /// a neighboring row).
+    row_words: usize,
+    words: Vec<u64>,
+    rows: usize,
+}
+
+impl BitGrid {
+    /// An all-zero matrix of `rows` × `cols` bits.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let row_words = cols.div_ceil(64);
+        BitGrid {
+            cols,
+            row_words,
+            words: vec![0; rows * row_words],
+            rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grows to at least `rows` rows (new rows all-zero).
+    pub fn grow_rows(&mut self, rows: usize) {
+        if rows > self.rows {
+            self.rows = rows;
+            self.words.resize(rows * self.row_words, 0);
+        }
+    }
+
+    /// Sets bit `(row, col)`. Panics if `col >= cols`; grows are the
+    /// caller's job (`row` must be in range).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        assert!(col < self.cols, "col {col} out of range {}", self.cols);
+        self.words[row * self.row_words + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// Reads bit `(row, col)`; out-of-range coordinates read as `false`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        if row >= self.rows || col >= self.cols {
+            return false;
+        }
+        self.words[row * self.row_words + col / 64] >> (col % 64) & 1 != 0
+    }
+
+    /// Iterates the set-bit column indices of `row` in increasing order
+    /// (empty for an out-of-range row).
+    pub fn ones(&self, row: usize) -> Ones<'_> {
+        let words: &[u64] = if row < self.rows {
+            &self.words[row * self.row_words..(row + 1) * self.row_words]
+        } else {
+            &[]
+        };
+        Ones {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Total set bits over the whole matrix.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Iterator over the set-bit columns of one [`BitGrid`] row.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut g = BitGrid::new(3, 130);
+        assert!(!g.get(0, 0));
+        g.set(0, 0);
+        g.set(1, 63);
+        g.set(1, 64);
+        g.set(2, 129);
+        assert!(g.get(0, 0));
+        assert!(g.get(1, 63));
+        assert!(g.get(1, 64));
+        assert!(g.get(2, 129));
+        assert!(!g.get(2, 128));
+        assert!(!g.get(99, 0), "out-of-range row reads false");
+        assert!(!g.get(0, 999), "out-of-range col reads false");
+        assert_eq!(g.count_ones(), 4);
+        assert_eq!((g.rows(), g.cols()), (3, 130));
+    }
+
+    #[test]
+    fn ones_iterates_in_order() {
+        let mut g = BitGrid::new(2, 200);
+        for col in [5usize, 0, 64, 199, 63] {
+            g.set(1, col);
+        }
+        let got: Vec<usize> = g.ones(1).collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 199]);
+        assert_eq!(g.ones(0).count(), 0, "untouched row");
+        assert_eq!(g.ones(7).count(), 0, "out-of-range row");
+    }
+
+    #[test]
+    fn rows_are_word_isolated() {
+        // 10 cols → 1 word per row; setting the whole of row 0 must not
+        // leak into row 1.
+        let mut g = BitGrid::new(2, 10);
+        for col in 0..10 {
+            g.set(0, col);
+        }
+        assert_eq!(g.ones(1).count(), 0);
+        assert_eq!(g.count_ones(), 10);
+    }
+
+    #[test]
+    fn grow_rows_preserves_and_zeroes() {
+        let mut g = BitGrid::new(1, 70);
+        g.set(0, 69);
+        g.grow_rows(4);
+        assert_eq!(g.rows(), 4);
+        assert!(g.get(0, 69));
+        assert_eq!(g.count_ones(), 1);
+        g.set(3, 1);
+        assert!(g.get(3, 1));
+        g.grow_rows(2); // shrink request is a no-op
+        assert_eq!(g.rows(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_col_panics() {
+        let mut g = BitGrid::new(1, 10);
+        g.set(0, 10);
+    }
+}

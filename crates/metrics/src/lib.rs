@@ -20,11 +20,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitgrid;
 pub mod observer;
 pub mod playback;
+pub mod reference;
 pub mod series;
 pub mod stats;
 
-pub use observer::StreamObserver;
+pub use bitgrid::BitGrid;
+pub use observer::{ReceptionLog, StreamObserver};
 pub use playback::{mean_continuity, replay, PlaybackReport, PlayerPolicy};
+pub use reference::RetainedObserver;
 pub use series::{average_figures, Figure, Series};

@@ -2,8 +2,8 @@
 //!
 //! The paper motivates DCO with viewer QoS — "image freezes and poor
 //! resolution" — but evaluates proxy metrics. This module closes the loop:
-//! given a node's chunk reception instants (from the [`StreamObserver`])
-//! and a player policy, it
+//! given a node's chunk reception instants (any [`ReceptionLog`], normally
+//! the [`StreamObserver`](crate::StreamObserver)) and a player policy, it
 //! replays the playout and reports **startup delay**, **stall count/time**
 //! and the **continuity index** (fraction of wall-clock play time not
 //! spent frozen).
@@ -16,7 +16,7 @@
 use dco_sim::node::NodeId;
 use dco_sim::time::SimDuration;
 
-use crate::observer::StreamObserver;
+use crate::observer::ReceptionLog;
 
 /// Player policy.
 #[derive(Clone, Copy, Debug)]
@@ -53,11 +53,12 @@ pub struct PlaybackReport {
     pub continuity: f64,
 }
 
-/// Replays `node`'s playout of chunks `[first, last]` against the
-/// observer's reception record. Returns `None` when the node never
-/// buffered enough to start.
-pub fn replay(
-    obs: &StreamObserver,
+/// Replays `node`'s playout of chunks `[first, last]` against a reception
+/// record (any [`ReceptionLog`] — the flat observer or the retained
+/// reference model). Returns `None` when the node never buffered enough to
+/// start.
+pub fn replay<L: ReceptionLog + ?Sized>(
+    obs: &L,
     node: NodeId,
     first: u32,
     last: u32,
@@ -111,7 +112,12 @@ pub fn replay(
 
 /// Mean continuity over all nodes that managed to start (the audience-wide
 /// smoothness score).
-pub fn mean_continuity(obs: &StreamObserver, first: u32, last: u32, policy: PlayerPolicy) -> f64 {
+pub fn mean_continuity<L: ReceptionLog + ?Sized>(
+    obs: &L,
+    first: u32,
+    last: u32,
+    policy: PlayerPolicy,
+) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;
     for node in 0..obs.n_nodes() {
@@ -130,6 +136,7 @@ pub fn mean_continuity(obs: &StreamObserver, first: u32, last: u32, policy: Play
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::StreamObserver;
     use dco_sim::time::SimTime;
 
     fn t(s: u64) -> SimTime {

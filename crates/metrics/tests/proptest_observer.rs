@@ -1,0 +1,216 @@
+//! Property tests: the flat [`StreamObserver`] against the retained
+//! reference model.
+//!
+//! The flat observer stores only the first-arrival instant per
+//! `(chunk, node)` pair (one slab + a bit matrix + two fold counters); the
+//! [`RetainedObserver`] keeps *every* reception instant in nested `Vec`s
+//! and folds at query time. These tests drive both through identical
+//! randomized recording scripts — duplicate arrivals, out-of-order
+//! arrivals, sparse audiences, on-demand growth — and require every metric
+//! and every playback QoS report to agree exactly. Driven by the in-tree
+//! `dco-testkit` (deterministic seeds, `DCO_TESTKIT_REPLAY` to reproduce a
+//! failure).
+
+use dco_metrics::playback::{mean_continuity, replay, PlayerPolicy};
+use dco_metrics::{ReceptionLog, RetainedObserver, StreamObserver};
+use dco_sim::node::NodeId;
+use dco_sim::time::{SimDuration, SimTime};
+use dco_testkit::{check, tk_assert_eq, Gen};
+
+/// One randomized recording script applied to both observers.
+struct Script {
+    n_nodes: usize,
+    n_chunks: usize,
+    flat: StreamObserver,
+    retained: RetainedObserver,
+}
+
+/// Builds the pair by replaying one random script into both layouts.
+/// Arrival times are drawn from a small range so duplicates, ties and
+/// out-of-order arrivals are common, not rare.
+fn gen_script(g: &mut Gen) -> Script {
+    let n_nodes = g.usize_in(1, 9);
+    let max_chunks = g.usize_in(1, 11);
+    // Start some scripts with zero pre-sized chunks to exercise on-demand
+    // growth in both layouts.
+    let pre_sized = if g.weighted_bool(0.5) { max_chunks } else { 0 };
+    let mut flat = StreamObserver::new(n_nodes, pre_sized);
+    let mut retained = RetainedObserver::new(n_nodes, pre_sized);
+
+    // Each chunk is generated at most once (the observer debug-asserts
+    // against double generation, matching real harness usage).
+    for seq in 0..max_chunks as u32 {
+        if g.weighted_bool(0.8) {
+            let t = SimTime::from_millis(g.u64_in(0, 20_001));
+            flat.record_generated(seq, t);
+            retained.record_generated(seq, t);
+        }
+    }
+    // Sparse audience.
+    for seq in 0..max_chunks as u32 {
+        for node in 0..n_nodes as u32 {
+            if g.weighted_bool(0.7) {
+                flat.mark_expected(seq, NodeId(node));
+                retained.mark_expected(seq, NodeId(node));
+            }
+        }
+    }
+    // Receptions: repeated visits to the same pair produce duplicates and
+    // out-of-order arrivals (times are not sorted).
+    for _ in 0..g.usize_in(0, 121) {
+        let seq = g.u64_in(0, max_chunks as u64) as u32;
+        let node = NodeId(g.u64_in(0, n_nodes as u64) as u32);
+        let t = SimTime::from_millis(g.u64_in(0, 20_001));
+        flat.record_received(seq, node, t);
+        retained.record_received(seq, node, t);
+    }
+    Script {
+        n_nodes,
+        n_chunks: flat.n_chunks(),
+        flat,
+        retained,
+    }
+}
+
+/// Exact f64 equality is intentional throughout: both layouts must derive
+/// each statistic from identical integer counts folded in the same order,
+/// so the floats are bit-identical — any tolerance would hide a layout bug.
+#[test]
+fn flat_observer_matches_retained_model_per_pair() {
+    check("flat_observer_matches_retained_model_per_pair", 300, |g| {
+        let s = gen_script(g);
+        tk_assert_eq!(s.flat.n_chunks(), s.retained.n_chunks(), "n_chunks");
+        for seq in 0..s.n_chunks as u32 + 2 {
+            tk_assert_eq!(
+                s.flat.generated_at(seq),
+                s.retained.generated_at(seq),
+                "generated_at({seq})"
+            );
+            for node in 0..s.n_nodes as u32 + 2 {
+                let node = NodeId(node);
+                tk_assert_eq!(
+                    s.flat.received_at(seq, node),
+                    s.retained.received_at(seq, node),
+                    "received_at({seq}, {node:?}) must be the earliest arrival"
+                );
+                tk_assert_eq!(
+                    s.flat.is_expected(seq, node),
+                    s.retained.is_expected(seq, node),
+                    "is_expected({seq}, {node:?})"
+                );
+            }
+        }
+        tk_assert_eq!(
+            s.flat.duplicate_receptions() + s.flat.out_of_order_receptions(),
+            s.retained.rereceptions(),
+            "every re-reception folds into exactly one counter"
+        );
+        tk_assert_eq!(
+            s.flat.expected_pairs(),
+            s.retained.expected_pairs(),
+            "expected_pairs"
+        );
+        tk_assert_eq!(
+            s.flat.received_pairs(),
+            s.retained.received_pairs(),
+            "received_pairs"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn flat_observer_matches_retained_model_metrics() {
+    check("flat_observer_matches_retained_model_metrics", 300, |g| {
+        let s = gen_script(g);
+        let horizon = SimTime::from_secs(g.u64_in(0, 31));
+        for seq in 0..s.n_chunks as u32 {
+            tk_assert_eq!(
+                s.flat.mesh_delay(seq, horizon),
+                s.retained.mesh_delay(seq, horizon),
+                "mesh_delay({seq})"
+            );
+            tk_assert_eq!(
+                s.flat.fill_ratio(seq, horizon),
+                s.retained.fill_ratio(seq, horizon),
+                "fill_ratio({seq})"
+            );
+        }
+        tk_assert_eq!(
+            s.flat.mean_mesh_delay(horizon),
+            s.retained.mean_mesh_delay(horizon),
+            "mean_mesh_delay"
+        );
+        let offset = SimDuration::from_millis(g.u64_in(0, 5_001));
+        tk_assert_eq!(
+            s.flat.mean_fill_ratio_at_offset(offset),
+            s.retained.mean_fill_ratio_at_offset(offset),
+            "mean_fill_ratio_at_offset"
+        );
+        for sec in 0..=30u64 {
+            let at = SimTime::from_secs(sec);
+            tk_assert_eq!(
+                s.flat.global_fill_ratio(at),
+                s.retained.global_fill_ratio(at),
+                "global_fill_ratio({sec}s)"
+            );
+        }
+        tk_assert_eq!(
+            s.flat.received_percentage(horizon),
+            s.retained.received_percentage(horizon),
+            "received_percentage"
+        );
+        // The one-pass timeline against the retained model's per-second
+        // recomputation (the figure extractors rely on this equivalence).
+        let (cum, total) = s.flat.received_by_second(30);
+        for sec in 0..=30u64 {
+            let fast = if total == 0 {
+                0.0
+            } else {
+                cum[sec as usize] as f64 / total as f64
+            };
+            tk_assert_eq!(
+                fast,
+                s.retained.global_fill_ratio(SimTime::from_secs(sec)),
+                "received_by_second vs retained global_fill_ratio({sec}s)"
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Playback QoS (startup delay, stall count/time, continuity) replayed off
+/// both layouts through the shared [`ReceptionLog`] interface.
+#[test]
+fn playback_replay_agrees_across_layouts() {
+    check("playback_replay_agrees_across_layouts", 300, |g| {
+        let s = gen_script(g);
+        let policy = PlayerPolicy {
+            startup_chunks: g.u64_in(1, 5) as u32,
+            chunk_len: SimDuration::from_millis(g.u64_in(100, 2_001)),
+        };
+        let last = s.n_chunks as u32 - 1;
+        let first = g.u64_in(0, u64::from(last) + 1) as u32;
+        for node in 0..s.n_nodes as u32 {
+            let node = NodeId(node);
+            tk_assert_eq!(
+                replay(&s.flat, node, first, last, policy),
+                replay(&s.retained, node, first, last, policy),
+                "replay({node:?}, [{first}, {last}])"
+            );
+        }
+        tk_assert_eq!(
+            mean_continuity(&s.flat, first, last, policy),
+            mean_continuity(&s.retained, first, last, policy),
+            "mean_continuity([{first}, {last}])"
+        );
+        // The trait object path (how generic extractors hold a log).
+        let logs: [&dyn ReceptionLog; 2] = [&s.flat, &s.retained];
+        tk_assert_eq!(
+            logs[0].received_at(0, NodeId(0)),
+            logs[1].received_at(0, NodeId(0)),
+            "dyn ReceptionLog dispatch"
+        );
+        Ok(())
+    });
+}

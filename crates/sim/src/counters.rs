@@ -190,12 +190,26 @@ impl Counters {
 /// every snapshot is zero and the deltas degrade gracefully.
 pub mod perf {
     use std::alloc::{GlobalAlloc, Layout, System};
-    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
     use std::time::Instant;
 
     static ALLOCS: AtomicU64 = AtomicU64::new(0);
     static FREES: AtomicU64 = AtomicU64::new(0);
     static BYTES: AtomicU64 = AtomicU64::new(0);
+    /// Bytes currently allocated (allocs minus frees). Signed so a free of
+    /// memory obtained before the allocator was consulted cannot wrap.
+    static LIVE: AtomicI64 = AtomicI64::new(0);
+    /// High-water mark of `LIVE` since process start (or the last
+    /// [`AllocStats::reset_peak`]).
+    static PEAK: AtomicI64 = AtomicI64::new(0);
+
+    #[inline]
+    fn live_add(delta: i64) {
+        let live = LIVE.fetch_add(delta, Relaxed) + delta;
+        if delta > 0 {
+            PEAK.fetch_max(live, Relaxed);
+        }
+    }
 
     /// A counting wrapper over the system allocator. Install in a perf
     /// binary with `#[global_allocator] static A: CountingAlloc =
@@ -209,17 +223,20 @@ pub mod perf {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Relaxed);
             BYTES.fetch_add(layout.size() as u64, Relaxed);
+            live_add(layout.size() as i64);
             unsafe { System.alloc(layout) }
         }
 
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             FREES.fetch_add(1, Relaxed);
+            live_add(-(layout.size() as i64));
             unsafe { System.dealloc(ptr, layout) }
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCS.fetch_add(1, Relaxed);
             BYTES.fetch_add(new_size as u64, Relaxed);
+            live_add(new_size as i64 - layout.size() as i64);
             unsafe { System.realloc(ptr, layout, new_size) }
         }
     }
@@ -246,6 +263,27 @@ pub mod perf {
             }
         }
 
+        /// Bytes currently allocated and not yet freed (0 unless a
+        /// [`CountingAlloc`] is installed).
+        pub fn live_bytes() -> u64 {
+            LIVE.load(Relaxed).max(0) as u64
+        }
+
+        /// High-water mark of [`AllocStats::live_bytes`] since process
+        /// start or the last [`AllocStats::reset_peak`].
+        pub fn peak_live_bytes() -> u64 {
+            PEAK.load(Relaxed).max(0) as u64
+        }
+
+        /// Rewinds the live-bytes high-water mark to the current live
+        /// level, so the next [`AllocStats::peak_live_bytes`] reports the
+        /// peak of the region that starts *now*. Not thread-safe with
+        /// respect to concurrent measured regions — the perf binaries
+        /// measure one region at a time.
+        pub fn reset_peak() {
+            PEAK.store(LIVE.load(Relaxed), Relaxed);
+        }
+
         /// Totals accrued since an `earlier` snapshot.
         pub fn delta_since(self, earlier: AllocStats) -> AllocStats {
             AllocStats {
@@ -263,9 +301,11 @@ pub mod perf {
     }
 
     impl PerfMeter {
-        /// Starts timing now.
+        /// Starts timing now. Also rewinds the live-bytes high-water mark,
+        /// so the sample's `peak_live_bytes` covers exactly this region.
         #[allow(clippy::new_without_default)]
         pub fn start() -> PerfMeter {
+            AllocStats::reset_peak();
             PerfMeter {
                 a0: AllocStats::snapshot(),
                 t0: Instant::now(),
@@ -280,6 +320,8 @@ pub mod perf {
                 wall_ns,
                 events,
                 alloc: AllocStats::snapshot().delta_since(self.a0),
+                peak_live_bytes: AllocStats::peak_live_bytes(),
+                live_bytes_end: AllocStats::live_bytes(),
             }
         }
     }
@@ -293,6 +335,12 @@ pub mod perf {
         pub events: u64,
         /// Allocator activity in the region.
         pub alloc: AllocStats,
+        /// Peak bytes simultaneously live during the region (the memory
+        /// the region actually *needed*, as opposed to `alloc.bytes`,
+        /// which is cumulative turnover).
+        pub peak_live_bytes: u64,
+        /// Bytes still live when the region ended.
+        pub live_bytes_end: u64,
     }
 
     impl PerfSample {
@@ -420,6 +468,13 @@ mod tests {
         assert_eq!(sample.events, 1_000);
         assert!(sample.events_per_sec() >= 0.0);
         assert!(sample.wall_ms() >= 0.0);
+        // Without a CountingAlloc installed (lib tests run on the system
+        // allocator) the byte gauges read zero and must not underflow.
+        assert_eq!(sample.peak_live_bytes, 0);
+        assert_eq!(sample.live_bytes_end, 0);
+        assert_eq!(AllocStats::live_bytes(), 0);
+        AllocStats::reset_peak();
+        assert_eq!(AllocStats::peak_live_bytes(), 0);
     }
 
     #[test]

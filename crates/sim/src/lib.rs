@@ -80,6 +80,7 @@ pub mod net;
 pub mod node;
 pub mod queue;
 pub mod rng;
+pub mod slab;
 pub mod smallvec;
 pub mod time;
 pub mod trace;

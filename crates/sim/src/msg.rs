@@ -83,8 +83,10 @@ impl fmt::Debug for SizeBits {
 }
 
 impl fmt::Display for SizeBits {
+    // `u32::is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.75.
+    #[allow(clippy::manual_is_multiple_of)]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
+        if self.0 >= 1_000 && self.0 % 1_000 == 0 {
             write!(f, "{}kb", self.0 / 1_000)
         } else {
             write!(f, "{}b", self.0)

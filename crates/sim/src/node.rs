@@ -11,7 +11,9 @@ use core::fmt;
 ///
 /// `NodeId(0)` is conventionally the channel server in streaming scenarios,
 /// but the engine itself attaches no meaning to any particular index.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// `Default` (node 0) exists only so `NodeId` satisfies container bounds
+/// like [`crate::smallvec::SmallVec`]'s `Copy + Default`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
