@@ -12,6 +12,7 @@
 //! dco-perf [--populations 1000,5000,10000] [--runs 5]
 //!          [--out BENCH_sim_core.json] [--label NAME] [--stdout]
 //! dco-perf --scale        # large-N memory ladder → BENCH_scale.json
+//! dco-perf --scale-churn  # churn (figs 11-12) ladder → BENCH_churn_scale.json
 //! dco-perf --digests      # golden trace-digest table for tests/determinism.rs
 //! ```
 //!
@@ -24,6 +25,14 @@
 //! the counting allocator's high-water mark) and bytes per node. The
 //! bytes/node column is the flat-layout check — it must stay roughly
 //! constant as N grows (no super-linear memory).
+//!
+//! `--scale-churn` is the same ladder under the figures 11–12 churn model
+//! (`ChurnConfig::paper_fig11`: mean lifetime = join interval = 60 s, all
+//! departures abrupt, dynamic Chord ring with live stabilization), writing
+//! `BENCH_churn_scale.json`. Churn runs at a fixed seed are deterministic,
+//! so each tier's digest is pinned the same way as the static ladder —
+//! [`PRE_FLAT_CHURN_DIGESTS`] carries the pre-flattening values and any
+//! drift hard-fails the run.
 
 use std::process::ExitCode;
 
@@ -56,19 +65,47 @@ const PRE_FLAT_DIGESTS: &[(u32, u64, u64)] = &[
     (100_000, 1_270_885_329, 0x79c2_50f0_fd68_ba07),
 ];
 
+/// Digests of the churn figures workload (figs 11–12 shape,
+/// `ChurnConfig::paper_fig11`, seed 42) measured on the engine *before*
+/// the churn books were flattened, at the tiers that engine could reach
+/// (1k/10k). The flat churn path must reproduce them bit-for-bit — the
+/// CI `churn-scale-smoke` job asserts this on every PR. The 50k entry was
+/// recorded on the flat engine (the first that fits the tier) and pins
+/// the tier against future drift.
+const PRE_FLAT_CHURN_DIGESTS: &[(u32, u64, u64)] = &[
+    (1_000, 13_019_723, 0x7054_7214_70b6_2603),
+    (10_000, 152_428_043, 0x8f05_16e3_66f1_8e2e),
+    (50_000, 830_212_465, 0xb2e5_7273_57d3_b252),
+];
+
 const PRE_PR_LABEL: &str = "pre-pr2-seed-engine";
 const DEFAULT_POPULATIONS: [u32; 3] = [1_000, 5_000, 10_000];
 /// The `--scale` memory ladder.
 const SCALE_POPULATIONS: [u32; 4] = [1_000, 10_000, 50_000, 100_000];
+/// The `--scale-churn` ladder (churn runs cost ~7x static per node, so
+/// the ladder tops out at 50k; the 50k tier runs nightly, not per-PR).
+const CHURN_SCALE_POPULATIONS: [u32; 3] = [1_000, 10_000, 50_000];
 const DEFAULT_RUNS: usize = 5;
 const DEFAULT_OUT: &str = "BENCH_sim_core.json";
 const SCALE_OUT: &str = "BENCH_scale.json";
+const CHURN_SCALE_OUT: &str = "BENCH_churn_scale.json";
 
 /// The figures workload at population `n`: §IV defaults with the node
 /// count overridden and the seed fixed (static DCO is seed-invariant).
 fn figures_params(n_nodes: u32) -> RunParams {
     let mut p = RunParams::paper_default(42);
     p.n_nodes = n_nodes;
+    p
+}
+
+/// The churn figures workload (figs 11–12 shape) at population `n`: the
+/// same §IV defaults under `ChurnConfig::paper_fig11` — mean lifetime =
+/// join interval = 60 s, all departures abrupt — which switches the run
+/// onto the dynamic Chord ring (live stabilization, finger repair,
+/// coordinator churn).
+fn churn_figures_params(n_nodes: u32) -> RunParams {
+    let mut p = figures_params(n_nodes);
+    p.churn = Some(ChurnConfig::paper_fig11());
     p
 }
 
@@ -104,7 +141,15 @@ impl PopulationReport {
 }
 
 fn measure_population(n_nodes: u32, runs: usize) -> PopulationReport {
-    let params = figures_params(n_nodes);
+    measure_workload(n_nodes, runs, false)
+}
+
+fn measure_workload(n_nodes: u32, runs: usize, churn: bool) -> PopulationReport {
+    let params = if churn {
+        churn_figures_params(n_nodes)
+    } else {
+        figures_params(n_nodes)
+    };
     let mut samples = Vec::with_capacity(runs);
     let mut trace_digest = None;
     for run in 0..runs {
@@ -135,7 +180,12 @@ fn measure_population(n_nodes: u32, runs: usize) -> PopulationReport {
         samples,
         trace_digest: trace_digest.expect("runs >= 1"),
     };
-    if let Some((_, events, digest)) = PRE_FLAT_DIGESTS.iter().find(|(n, ..)| *n == n_nodes) {
+    let pinned = if churn {
+        PRE_FLAT_CHURN_DIGESTS
+    } else {
+        PRE_FLAT_DIGESTS
+    };
+    if let Some((_, events, digest)) = pinned.iter().find(|(n, ..)| *n == n_nodes) {
         let sample_events = report.samples[0].events;
         assert_eq!(
             *digest, report.trace_digest,
@@ -268,13 +318,13 @@ fn report_json(label: &str, runs: usize, reports: &[PopulationReport]) -> Json {
     ])
 }
 
-/// Runs the `--scale` memory ladder: the figures workload at each tier of
-/// [`SCALE_POPULATIONS`], one run each, reporting peak live bytes and
-/// bytes/node. Returns the report JSON.
-fn run_scale(label: &str) -> Json {
-    let reports: Vec<PopulationReport> = SCALE_POPULATIONS
+/// Runs the `--scale` / `--scale-churn` memory ladder: the (static or
+/// churn) figures workload at each tier, one run each, reporting peak
+/// live bytes and bytes/node. Returns the report JSON.
+fn run_scale(label: &str, churn: bool, tiers: &[u32]) -> Json {
+    let reports: Vec<PopulationReport> = tiers
         .iter()
-        .map(|&n| measure_population(n, 1))
+        .map(|&n| measure_workload(n, 1, churn))
         .collect();
     // Linearity check: bytes/node at the largest tier vs the smallest.
     // Flat layouts keep this ratio near 1; the retained observer's
@@ -317,7 +367,7 @@ fn run_scale(label: &str) -> Json {
                 ("neighbors", Json::Int(params.neighbors as u64)),
                 ("horizon_s", Json::Int(params.horizon.as_secs())),
                 ("seed", Json::Int(params.seed)),
-                ("churn", Json::Bool(false)),
+                ("churn", Json::Bool(churn)),
             ]),
         ),
         (
@@ -368,12 +418,14 @@ fn print_digest_table() {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         populations: DEFAULT_POPULATIONS.to_vec(),
+        populations_explicit: false,
         runs: DEFAULT_RUNS,
         out: DEFAULT_OUT.to_string(),
         label: "current".to_string(),
         stdout: false,
         digests: false,
         scale: false,
+        scale_churn: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -384,6 +436,7 @@ fn parse_args() -> Result<Args, String> {
                     .split(',')
                     .map(|s| s.trim().parse::<u32>().map_err(|e| format!("{s}: {e}")))
                     .collect::<Result<_, _>>()?;
+                args.populations_explicit = true;
             }
             "--runs" => {
                 args.runs = value("--runs")?
@@ -395,6 +448,7 @@ fn parse_args() -> Result<Args, String> {
             "--stdout" => args.stdout = true,
             "--digests" => args.digests = true,
             "--scale" => args.scale = true,
+            "--scale-churn" => args.scale_churn = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -406,12 +460,16 @@ fn parse_args() -> Result<Args, String> {
 
 struct Args {
     populations: Vec<u32>,
+    /// True when `--populations` was given on the command line — lets the
+    /// scale ladders run a subset of tiers (CI smoke runs 1k/10k only).
+    populations_explicit: bool,
     runs: usize,
     out: String,
     label: String,
     stdout: bool,
     digests: bool,
     scale: bool,
+    scale_churn: bool,
 }
 
 fn main() -> ExitCode {
@@ -426,16 +484,31 @@ fn main() -> ExitCode {
         print_digest_table();
         return ExitCode::SUCCESS;
     }
-    if args.scale {
-        eprintln!(
-            "dco-perf: memory-scale ladder, populations {:?}, 1 run each",
-            SCALE_POPULATIONS
-        );
-        let json = run_scale(&args.label).render_pretty();
-        let out = if args.out == DEFAULT_OUT {
-            SCALE_OUT
+    if args.scale || args.scale_churn {
+        let churn = args.scale_churn;
+        let tiers: Vec<u32> = if args.populations_explicit {
+            args.populations.clone()
+        } else if churn {
+            CHURN_SCALE_POPULATIONS.to_vec()
         } else {
+            SCALE_POPULATIONS.to_vec()
+        };
+        eprintln!(
+            "dco-perf: {} ladder, populations {:?}, 1 run each",
+            if churn {
+                "churn-scale (figs 11-12)"
+            } else {
+                "memory-scale"
+            },
+            tiers
+        );
+        let json = run_scale(&args.label, churn, &tiers).render_pretty();
+        let out = if args.out != DEFAULT_OUT {
             args.out.as_str()
+        } else if churn {
+            CHURN_SCALE_OUT
+        } else {
+            SCALE_OUT
         };
         if args.stdout {
             print!("{json}");

@@ -2,7 +2,7 @@
 //!
 //! The workspace carries no external bench framework (offline
 //! reproducibility), and the benches only need honest wall-clock numbers,
-//! not statistical rigor: each [`bench`] call warms up, runs a fixed
+//! not statistical rigor: each [`bench()`] call warms up, runs a fixed
 //! number of timed iterations, and prints min / median / mean per
 //! iteration. Benches are plain `fn main()` targets (`harness = false`)
 //! run via `cargo bench -p dco-bench`.
@@ -34,7 +34,7 @@ pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> u128 {
     median
 }
 
-/// Prints the header row matching [`bench`]'s output columns.
+/// Prints the header row matching [`bench()`]'s output columns.
 pub fn header(group: &str) {
     println!("\n== {group} ==");
     println!(

@@ -36,6 +36,7 @@ use dco_dht::id::{ChordId, Peer};
 use dco_metrics::StreamObserver;
 use dco_sim::prelude::*;
 use dco_sim::slab::{ListSlab, SlotTable};
+use dco_sim::smallvec::SmallVec;
 
 use crate::buffer::BufferMap;
 use crate::chunk::{ChunkNamer, ChunkSeq};
@@ -333,7 +334,7 @@ struct NodeState {
     /// Hierarchical: my coordinator.
     coordinator: Option<NodeId>,
     /// Hierarchical (coordinator side): stable clients by longevity.
-    stable_clients: Vec<(NodeId, f64)>,
+    stable_clients: SmallVec<(NodeId, f64), 8>,
     /// Hierarchical (coordinator side): lookups since the last TierCheck.
     lookups_handled: u32,
     /// Hierarchical (client side): consecutive lookup timeouts (coordinator
@@ -363,7 +364,7 @@ impl NodeState {
             window: PrefetchWindow::new(cfg.window.clone(), my_down),
             joined_at: now,
             coordinator: None,
-            stable_clients: Vec::new(),
+            stable_clients: SmallVec::new(),
             lookups_handled: 0,
             coord_failures: 0,
             report_cursor: 0,

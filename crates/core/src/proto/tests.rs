@@ -321,3 +321,130 @@ fn session_anchoring_prioritizes_the_live_edge() {
         .count();
     assert!(backfilled > 0, "no history was repaired");
 }
+
+#[test]
+fn mass_client_departure_does_not_wedge_the_coordinator() {
+    // Hierarchical tier, single coordinator (the server). More than half
+    // of its clients vanish abruptly in the same instant; the coordinator's
+    // client roster and stable-client book must flush, and the surviving
+    // clients must keep streaming to completion.
+    let mut cfg = DcoConfig::paper_default(16, 30);
+    cfg.tier = TierMode::Hierarchical {
+        stable_threshold: 0.2,    // everyone reports, so the book fills up
+        overload_lookups: 10_000, // but nobody is promoted
+        check_every: SimDuration::from_secs(2),
+    };
+    let mut sim = build(cfg, 71);
+    sim.run_until(SimTime::from_secs(20));
+    // Kill 9 of the 15 clients at the same instant.
+    let dead: Vec<NodeId> = (1..10u32).map(NodeId).collect();
+    for &n in &dead {
+        sim.schedule_leave(n, SimTime::from_secs(21), false);
+    }
+    sim.run_until(SimTime::from_secs(120));
+    let p = sim.protocol();
+    // Survivors completed the stream through the (still sole) coordinator.
+    for seq in 0..30u32 {
+        for node in 10..16u32 {
+            if p.obs.is_expected(seq, NodeId(node)) {
+                assert!(
+                    p.obs.received_at(seq, NodeId(node)).is_some(),
+                    "survivor N{node} missing chunk {seq}"
+                );
+            }
+        }
+    }
+    assert_eq!(p.chord().member_count(), 1, "ring membership unchanged");
+}
+
+#[test]
+fn departure_mid_promotion_recovers() {
+    // A coordinator under load promotes its most stable client — and that
+    // client dies abruptly right as the promotion is in flight, before its
+    // Chord join can complete. The system must not wedge: later tier
+    // checks promote someone else and delivery holds.
+    let mut cfg = DcoConfig::paper_default(20, 60);
+    cfg.static_ring = false;
+    cfg.tier = TierMode::Hierarchical {
+        stable_threshold: 0.2,
+        overload_lookups: 5, // overload immediately
+        check_every: SimDuration::from_secs(2),
+    };
+    let mut sim = build(cfg, 83);
+    // Tier checks fire every 2 s from t=0; the first promotions go out in
+    // the first few checks. Kill a swath of early (lowest-id, longest-lived
+    // and thus most-stable-ranked) clients right across that window so at
+    // least one Promote lands on a node that is dead or dying.
+    for (i, n) in (2..7u32).enumerate() {
+        sim.schedule_leave(
+            NodeId(n),
+            SimTime::from_millis(4500 + 250 * i as u64),
+            false,
+        );
+    }
+    sim.run_until(SimTime::from_secs(140));
+    let p = sim.protocol();
+    // Someone (still alive) made it into the ring regardless.
+    assert!(
+        p.chord().member_count() > 1,
+        "no promotion survived the churn window"
+    );
+    // No dead node lingers in the server's assignment rotation with
+    // clients attached to it: every live client's coordinator is live.
+    for n in 7..20u32 {
+        let n = NodeId(n);
+        if p.role_of(n) == Some(Role::Client) {
+            if let Some(c) = p.nodes[n.index()].as_ref().unwrap().coordinator {
+                assert!(
+                    p.nodes[c.index()].is_some(),
+                    "live client {n} attached to dead coordinator {c}"
+                );
+            }
+        }
+    }
+    // Delivery held for the nodes that lived through it.
+    let pct = p.obs.received_percentage(SimTime::from_secs(140));
+    assert!(pct > 85.0, "delivery collapsed: {pct:.1}%");
+}
+
+#[test]
+fn rejoin_collides_with_stale_pending_state() {
+    // A node leaves abruptly mid-stream and rejoins shortly after, while
+    // peers still hold its corpse in suspicion tombstones, pending-fetch
+    // tables and provider indices from the previous life. The reused node
+    // slot must come back clean: the rejoined node re-attaches, catches
+    // the live edge, and ends the run fully streaming.
+    let cfg = DcoConfig::paper_churn(14, 40);
+    let mut sim = build(cfg, 97);
+    sim.run_until(SimTime::from_secs(10));
+    // Abrupt death at 11 s, rejoin 4 s later — well inside the suspicion
+    // TTL, so the rejoin collides with every stale entry peers still hold.
+    sim.schedule_leave(NodeId(5), SimTime::from_secs(11), false);
+    sim.schedule_join(NodeId(5), SimTime::from_secs(15));
+    sim.run_until(SimTime::from_secs(130));
+    let p = sim.protocol();
+    // The second tenancy is live and streaming: chunks generated after
+    // the rejoin settled all arrived.
+    for seq in 25..40u32 {
+        if p.obs.is_expected(seq, NodeId(5)) {
+            assert!(
+                p.obs.received_at(seq, NodeId(5)).is_some(),
+                "rejoined node missing live chunk {seq}"
+            );
+        }
+    }
+    // And the rest of the audience was not damaged by the collision.
+    for seq in 0..40u32 {
+        for node in 1..14u32 {
+            if node == 5 {
+                continue;
+            }
+            if p.obs.is_expected(seq, NodeId(node)) {
+                assert!(
+                    p.obs.received_at(seq, NodeId(node)).is_some(),
+                    "N{node} missing chunk {seq}"
+                );
+            }
+        }
+    }
+}

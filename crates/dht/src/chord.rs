@@ -23,11 +23,12 @@
 //! [`ChordConfig::pred_ttl_ticks`] ticks.
 
 use dco_sim::node::NodeId;
+use dco_sim::slab::SlotTable;
+use dco_sim::smallvec::SmallVec;
 
-use crate::finger::FingerTable;
 use crate::id::{ChordId, Peer};
+use crate::pool::{FingerPool, SuccessorPool};
 use crate::ring::OracleRing;
-use crate::successors::SuccessorList;
 
 /// Tuning knobs for the ring.
 #[derive(Clone, Debug)]
@@ -349,25 +350,30 @@ impl RouteCache {
     }
 }
 
-/// Per-node Chord state.
+/// Dissemination hops a locally observed death starts with.
+const GOSSIP_HOPS: u8 = 4;
+
+/// Per-node Chord state: the scalar core only.
+///
+/// The heap-shaped repair state — successor list, finger table, probe-miss
+/// counts and death tombstones — lives in the pooled `Books` owned by
+/// [`ChordNet`], indexed by the node's slot. Keeping the per-node struct
+/// all-scalar (plus two inline [`SmallVec`]s that spill only in pathological
+/// repair storms) is what lets churn workloads carry N ≥ 50k rings without
+/// hundreds of thousands of small allocations. Read access goes through
+/// [`ChordStateRef`], which rejoins the core with its pooled books.
 #[derive(Clone, Debug)]
 pub struct ChordState {
     me: Peer,
     pred: Option<Peer>,
-    succs: SuccessorList,
-    fingers: FingerTable,
     next_finger: u32,
     /// Finger lookups issued last tick: `(finger index, first hop used)`.
     /// Entries still here at the next tick indicate a lost lookup; the hop
     /// is then suspected and cleared from the finger table.
-    pending_fingers: Vec<(u32, NodeId)>,
+    pending_fingers: SmallVec<(u32, NodeId), 4>,
     /// Stabilize probe to the working successor outstanding since the last
     /// tick (the target is recorded so an unrelated reply cannot clear it).
     stab_pending_to: Option<NodeId>,
-    /// Consecutive unanswered probes per target. A peer is only declared
-    /// dead after [`ChordConfig::suspicion_misses`] silent rounds, so a
-    /// single lost message on a lossy link cannot amputate a live node.
-    probe_misses: std::collections::HashMap<u32, u32>,
     /// Liveness probe to a deep successor-list entry outstanding since the
     /// last tick.
     probe_pending: Option<NodeId>,
@@ -377,18 +383,10 @@ pub struct ChordState {
     tick: u64,
     /// Recently declared-dead peers: `(peer, declaration tick, remaining
     /// dissemination hops)`.
-    recent_dead: Vec<(NodeId, u64, u8)>,
+    recent_dead: SmallVec<(NodeId, u64, u8), 4>,
     /// Ticks left before the predecessor is presumed dead.
     pred_ttl: u32,
     joined: bool,
-    /// Peers this node has declared dead, keyed by declaration tick.
-    /// Gossip (merged successor lists, forwarded peer info) cannot
-    /// re-introduce a suspected peer; a message received directly from it —
-    /// or expiry after [`SUSPECT_TTL_TICKS`] — lifts the suspicion (expiry
-    /// matters because churned nodes can rejoin under the same address).
-    /// Without tombstones, a corpse deep in a neighbor's successor list
-    /// circulates forever.
-    suspected: std::collections::HashMap<u32, u64>,
 }
 
 impl ChordState {
@@ -396,19 +394,15 @@ impl ChordState {
         ChordState {
             me,
             pred: None,
-            succs: SuccessorList::new(me.id, cfg.successor_list_len),
-            fingers: FingerTable::new(me.id),
             next_finger: 0,
-            pending_fingers: Vec::new(),
+            pending_fingers: SmallVec::new(),
             stab_pending_to: None,
-            probe_misses: std::collections::HashMap::new(),
             probe_pending: None,
             last_deep_probe: None,
             tick: 0,
-            recent_dead: Vec::new(),
+            recent_dead: SmallVec::new(),
             pred_ttl: cfg.pred_ttl_ticks,
             joined: false,
-            suspected: std::collections::HashMap::new(),
         }
     }
 
@@ -422,76 +416,108 @@ impl ChordState {
         self.pred
     }
 
-    /// Working successor.
-    pub fn successor(&self) -> Option<Peer> {
-        self.succs.first()
-    }
-
-    /// The whole successor list, nearest first.
-    pub fn successor_list(&self) -> Vec<Peer> {
-        self.succs.iter().collect()
-    }
-
     /// True once the join handshake finished.
     pub fn is_joined(&self) -> bool {
         self.joined
     }
+}
 
-    /// Read access to the finger table.
-    pub fn fingers(&self) -> &FingerTable {
-        &self.fingers
+/// The pooled per-node repair state: successor lists, finger tables,
+/// probe-miss counts and death tombstones for *all* nodes, in flat arrays
+/// indexed by node slot. One allocation per book instead of four per node.
+struct Books {
+    succs: SuccessorPool,
+    fingers: FingerPool,
+    /// Consecutive unanswered probes per (owner, target). A peer is only
+    /// declared dead after [`ChordConfig::suspicion_misses`] silent
+    /// rounds, so a single lost message cannot amputate a live node.
+    probe_misses: SlotTable<u32>,
+    /// Death tombstones per (owner, peer), valued by declaration tick.
+    /// Gossip (merged successor lists, forwarded peer info) cannot
+    /// re-introduce a suspected peer; a message received directly from it —
+    /// or expiry after [`SUSPECT_TTL_TICKS`] — lifts the suspicion (expiry
+    /// matters because churned nodes can rejoin under the same address).
+    /// Without tombstones, a corpse deep in a neighbor's successor list
+    /// circulates forever.
+    suspected: SlotTable<u64>,
+}
+
+impl Books {
+    fn new(owners: usize, cfg: &ChordConfig) -> Self {
+        Books {
+            succs: SuccessorPool::new(owners, cfg.successor_list_len),
+            fingers: FingerPool::new(owners),
+            // Stab + deep probe leave at most a couple of live miss
+            // counters per node; tombstones burst a little wider under
+            // gossip. Both strides double globally if ever outgrown.
+            probe_misses: SlotTable::new(owners, 2),
+            suspected: SlotTable::new(owners, 4),
+        }
+    }
+
+    fn grow_owners(&mut self, owners: usize) {
+        self.succs.grow_owners(owners);
+        self.fingers.grow_owners(owners);
+        self.probe_misses.grow_owners(owners);
+        self.suspected.grow_owners(owners);
+    }
+
+    /// Resets `owner`'s books (join/rejoin under a reused slot, or state
+    /// drop on leave/fail — node slots are recycled across churn sessions).
+    fn clear_owner(&mut self, owner: usize) {
+        self.succs.clear(owner);
+        self.fingers.clear_owner(owner);
+        self.probe_misses.clear(owner);
+        self.suspected.clear(owner);
     }
 
     /// Learns that `p` exists (fills fingers and the successor list),
     /// unless `p` is currently suspected dead.
-    fn learn(&mut self, p: Peer) {
-        if p.node == self.me.node || self.suspected.contains_key(&p.node.0) {
+    fn learn(&mut self, st: &ChordState, owner: usize, p: Peer) {
+        if p.node == st.me.node || self.suspected.contains(owner, p.node.0) {
             return;
         }
-        self.succs.offer(p);
-        self.fingers.offer(p);
+        self.succs.offer(owner, st.me.id, p);
+        self.fingers.offer(owner, st.me.id, p);
     }
-
-    /// Dissemination hops a locally observed death starts with.
-    const GOSSIP_HOPS: u8 = 4;
 
     /// Forgets a dead (or departed) node everywhere, tombstones it, and
     /// queues the death for gossip with `hops` remaining dissemination
-    /// hops. Locally observed deaths start at [`Self::GOSSIP_HOPS`];
+    /// hops. Locally observed deaths start at [`GOSSIP_HOPS`];
     /// gossip-learned deaths are re-gossiped with one hop fewer, so the
     /// news floods the ring but cannot circulate forever (two nodes
     /// re-infecting each other's tombstones is what the bound prevents).
-    fn forget_with_hops(&mut self, node: NodeId, hops: u8) {
+    fn forget_with_hops(&mut self, st: &mut ChordState, owner: usize, node: NodeId, hops: u8) {
         // Refresh the tombstone on every (re-)observation: expiry runs
         // from the last evidence of death. The hop bound terminates gossip
         // waves, so refreshes stop shortly after the last real detection
         // and expiry stays reachable.
-        self.suspected.insert(node.0, self.tick);
-        self.succs.remove_node(node);
-        self.fingers.remove_node(node);
-        if self.pred.map(|p| p.node == node).unwrap_or(false) {
-            self.pred = None;
+        self.suspected.insert(owner, node.0, st.tick);
+        self.succs.remove_node(owner, node);
+        self.fingers.remove_node(owner, node);
+        if st.pred.map(|p| p.node == node).unwrap_or(false) {
+            st.pred = None;
         }
         if hops > 0
-            && !self
+            && !st
                 .recent_dead
                 .iter()
                 .any(|&(n, _, h)| n == node && h >= hops)
         {
-            self.recent_dead.retain(|&(n, _, _)| n != node);
-            self.recent_dead.push((node, self.tick, hops));
+            st.recent_dead.retain(|&(n, _, _)| n != node);
+            st.recent_dead.push((node, st.tick, hops));
         }
     }
 
     /// A locally observed death (probe miss, leave notice).
-    fn forget(&mut self, node: NodeId) {
-        self.forget_with_hops(node, Self::GOSSIP_HOPS);
+    fn forget(&mut self, st: &mut ChordState, owner: usize, node: NodeId) {
+        self.forget_with_hops(st, owner, node, GOSSIP_HOPS);
     }
 
     /// A message arrived directly from `node`: it is demonstrably alive.
-    fn unsuspect(&mut self, node: NodeId) {
-        self.suspected.remove(&node.0);
-        self.recent_dead.retain(|&(n, _, _)| n != node);
+    fn unsuspect(&mut self, st: &mut ChordState, owner: usize, node: NodeId) {
+        self.suspected.remove(owner, node.0);
+        st.recent_dead.retain(|&(n, _, _)| n != node);
     }
 
     /// The best greedy next hop toward `key`: the peer whose ID most
@@ -499,14 +525,15 @@ impl ChordState {
     /// successor list. Wide successor lists (the paper's "neighbors",
     /// swept 8→64 in §IV) therefore shorten routes — which is exactly why
     /// DCO's overhead *falls* as the neighbor count grows (Fig. 8).
-    fn best_hop(&self, key: ChordId) -> Option<Peer> {
-        let mut best: Option<Peer> = self.fingers.closest_preceding(key);
-        for p in self.succs.iter() {
-            if p.id.in_open(self.me.id, key) {
+    fn best_hop(&self, st: &ChordState, owner: usize, key: ChordId) -> Option<Peer> {
+        let me = st.me.id;
+        let mut best: Option<Peer> = self.fingers.closest_preceding(owner, me, key);
+        for p in self.succs.iter(owner) {
+            if p.id.in_open(me, key) {
                 match best {
                     None => best = Some(p),
                     Some(b) => {
-                        if self.me.id.distance_to(p.id) > self.me.id.distance_to(b.id) {
+                        if me.distance_to(p.id) > me.distance_to(b.id) {
                             best = Some(p);
                         }
                     }
@@ -515,10 +542,78 @@ impl ChordState {
         }
         best
     }
+}
+
+/// Read view of one node's Chord state: the scalar core rejoined with its
+/// pooled successor list, finger table and tombstones.
+#[derive(Clone, Copy)]
+pub struct ChordStateRef<'a> {
+    core: &'a ChordState,
+    books: &'a Books,
+    owner: usize,
+}
+
+impl<'a> ChordStateRef<'a> {
+    /// This node's ring identity.
+    pub fn me(&self) -> Peer {
+        self.core.me
+    }
+
+    /// Current predecessor.
+    pub fn predecessor(&self) -> Option<Peer> {
+        self.core.pred
+    }
+
+    /// Working successor.
+    pub fn successor(&self) -> Option<Peer> {
+        self.books.succs.first(self.owner)
+    }
+
+    /// The whole successor list, nearest first.
+    pub fn successor_list(&self) -> Vec<Peer> {
+        self.books.succs.iter(self.owner).collect()
+    }
+
+    /// True once the join handshake finished.
+    pub fn is_joined(&self) -> bool {
+        self.core.joined
+    }
+
+    /// Read access to the finger table.
+    pub fn fingers(&self) -> FingersRef<'a> {
+        FingersRef {
+            books: self.books,
+            owner: self.owner,
+        }
+    }
 
     /// True if this node currently suspects `node` dead (test hook).
     pub fn suspects(&self, node: NodeId) -> bool {
-        self.suspected.contains_key(&node.0)
+        self.books.suspected.contains(self.owner, node.0)
+    }
+}
+
+/// Read view of one node's pooled finger table.
+#[derive(Clone, Copy)]
+pub struct FingersRef<'a> {
+    books: &'a Books,
+    owner: usize,
+}
+
+impl FingersRef<'_> {
+    /// Current entry of finger `k`.
+    pub fn get(&self, k: u32) -> Option<Peer> {
+        self.books.fingers.get(self.owner, k)
+    }
+
+    /// Number of populated entries.
+    pub fn populated(&self) -> usize {
+        self.books.fingers.populated(self.owner)
+    }
+
+    /// Distinct populated fingers (deduplicated by node).
+    pub fn distinct_peers(&self) -> Vec<Peer> {
+        self.books.fingers.distinct_peers(self.owner)
     }
 }
 
@@ -526,15 +621,18 @@ impl ChordState {
 pub struct ChordNet {
     cfg: ChordConfig,
     nodes: Vec<Option<ChordState>>,
+    books: Books,
     route_cache: RouteCache,
 }
 
 impl ChordNet {
     /// An empty network able to host up to `capacity` nodes.
     pub fn new(capacity: usize, cfg: ChordConfig) -> Self {
+        let books = Books::new(capacity, &cfg);
         ChordNet {
             cfg,
             nodes: (0..capacity).map(|_| None).collect(),
+            books,
             route_cache: RouteCache::default(),
         }
     }
@@ -549,18 +647,28 @@ impl ChordNet {
         while self.nodes.len() < n {
             self.nodes.push(None);
         }
+        self.books.grow_owners(n);
     }
 
-    /// Read access to a node's state.
-    pub fn state(&self, node: NodeId) -> Option<&ChordState> {
-        self.nodes.get(node.index()).and_then(Option::as_ref)
+    /// Read access to a node's state (scalar core plus pooled books).
+    pub fn state(&self, node: NodeId) -> Option<ChordStateRef<'_>> {
+        let owner = node.index();
+        let core = self.nodes.get(owner).and_then(Option::as_ref)?;
+        Some(ChordStateRef {
+            core,
+            books: &self.books,
+            owner,
+        })
     }
 
-    fn state_mut(&mut self, node: NodeId) -> Option<&mut ChordState> {
-        // Any mutable access may change routing-relevant state; version the
-        // node's cached route decisions out from under it.
+    /// Splits out one node's mutable scalar core alongside the shared
+    /// books (the two live in disjoint fields, so the borrows coexist).
+    /// Also versions the node's cached route decisions out from under it:
+    /// any mutable access may change routing-relevant state.
+    fn state_mut(&mut self, node: NodeId) -> Option<(&mut ChordState, &mut Books)> {
         self.route_cache.bump(node);
-        self.nodes.get_mut(node.index()).and_then(Option::as_mut)
+        let core = self.nodes.get_mut(node.index()).and_then(Option::as_mut)?;
+        Some((core, &mut self.books))
     }
 
     /// Number of nodes currently holding ring state.
@@ -569,13 +677,19 @@ impl ChordNet {
     }
 
     /// Iterates over current members.
-    pub fn members(&self) -> impl Iterator<Item = &ChordState> + '_ {
-        self.nodes.iter().filter_map(Option::as_ref)
+    pub fn members(&self) -> impl Iterator<Item = ChordStateRef<'_>> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(owner, slot)| {
+            slot.as_ref().map(|core| ChordStateRef {
+                core,
+                books: &self.books,
+                owner,
+            })
+        })
     }
 
     /// An oracle snapshot of the current membership (tests, static setup).
     pub fn oracle(&self) -> OracleRing {
-        OracleRing::from_members(self.members().map(|s| s.me))
+        OracleRing::from_members(self.members().map(|s| s.me()))
     }
 
     // ------------------------------------------------------------------
@@ -588,6 +702,9 @@ impl ChordNet {
         let mut st = ChordState::new(me, &self.cfg);
         st.joined = true;
         self.route_cache.bump(me.node);
+        // Slots are recycled across churn sessions: scrub any books left
+        // behind by a previous tenancy before installing fresh state.
+        self.books.clear_owner(me.node.index());
         self.nodes[me.node.index()] = Some(st);
     }
 
@@ -597,6 +714,7 @@ impl ChordNet {
     pub fn join(&mut self, me: Peer, via: NodeId, out: &mut Outbox) {
         self.grow(me.node.index() + 1);
         self.route_cache.bump(me.node);
+        self.books.clear_owner(me.node.index());
         self.nodes[me.node.index()] = Some(ChordState::new(me, &self.cfg));
         out.send(
             me.node,
@@ -618,7 +736,7 @@ impl ChordNet {
         if st.is_joined() {
             return;
         }
-        let me = st.me;
+        let me = st.me();
         out.send(
             node,
             via,
@@ -644,7 +762,8 @@ impl ChordNet {
         let st = self.nodes.get_mut(node.index())?.take()?;
         let me = st.me;
         let pred = st.pred;
-        let succ = st.succs.first();
+        let succ = self.books.succs.first(node.index());
+        self.books.clear_owner(node.index());
         if let Some(p) = pred {
             out.send(
                 node,
@@ -675,7 +794,9 @@ impl ChordNet {
     pub fn fail(&mut self, node: NodeId) {
         self.route_cache.bump(node);
         if let Some(slot) = self.nodes.get_mut(node.index()) {
-            *slot = None;
+            if slot.take().is_some() {
+                self.books.clear_owner(node.index());
+            }
         }
     }
 
@@ -685,9 +806,11 @@ impl ChordNet {
 
     /// Processes one incoming Chord message at `node`.
     pub fn handle(&mut self, node: NodeId, from: NodeId, msg: ChordMsg, out: &mut Outbox) {
+        let owner = node.index();
         match self.state_mut(node) {
-            Some(st) => st.unsuspect(from), // direct contact proves liveness
-            None => return,                 // state already dropped (left/failed)
+            // Direct contact proves liveness.
+            Some((st, books)) => books.unsuspect(st, owner, from),
+            None => return, // state already dropped (left/failed)
         }
         match msg {
             ChordMsg::FindSucc {
@@ -703,17 +826,17 @@ impl ChordNet {
             }
             ChordMsg::GetPred { from: prober } => {
                 let pred_ttl = self.cfg.pred_ttl_ticks;
-                let st = self.state_mut(node).expect("checked above");
+                let (st, books) = self.state_mut(node).expect("checked above");
                 // A probe from our predecessor proves it is alive.
                 if st.pred.map(|p| p.node == prober.node).unwrap_or(false) {
                     st.pred_ttl = pred_ttl;
                 }
                 let reply = ChordMsg::PredReply {
                     pred: st.pred,
-                    succs: st.succs.iter().collect(),
+                    succs: books.succs.iter(owner).collect(),
                     dead: st.recent_dead.iter().map(|&(n, _, h)| (n, h)).collect(),
                 };
-                st.learn(prober);
+                books.learn(st, owner, prober);
                 out.send(node, from, reply, "chord.stab");
             }
             ChordMsg::PredReply { pred, succs, dead } => {
@@ -723,17 +846,17 @@ impl ChordNet {
                 self.handle_notify(node, peer, out);
             }
             ChordMsg::LeaveToPred { leaving, new_succ } => {
-                let st = self.state_mut(node).expect("checked above");
-                st.forget(leaving.node);
+                let (st, books) = self.state_mut(node).expect("checked above");
+                books.forget(st, owner, leaving.node);
                 if let Some(s) = new_succ {
-                    st.learn(s);
+                    books.learn(st, owner, s);
                 }
             }
             ChordMsg::LeaveToSucc { leaving, new_pred } => {
                 let pred_ttl = self.cfg.pred_ttl_ticks;
-                let st = self.state_mut(node).expect("checked above");
+                let (st, books) = self.state_mut(node).expect("checked above");
                 let was_pred = st.pred.map(|p| p.node == leaving.node).unwrap_or(false);
-                st.forget(leaving.node);
+                books.forget(st, owner, leaving.node);
                 if was_pred {
                     st.pred = new_pred;
                     st.pred_ttl = pred_ttl;
@@ -741,7 +864,7 @@ impl ChordNet {
                     // serving the departed arc until a new node claims it).
                 }
                 if let Some(p) = new_pred {
-                    st.learn(p);
+                    books.learn(st, owner, p);
                 }
             }
         }
@@ -756,8 +879,9 @@ impl ChordNet {
         ttl: u8,
         out: &mut Outbox,
     ) {
-        let st = self.state_mut(node).expect("caller checked");
-        st.learn(origin);
+        let owner = node.index();
+        let (st, books) = self.state_mut(node).expect("caller checked");
+        books.learn(st, owner, origin);
         let me = st.me;
         let answer = |out: &mut Outbox, succ: Peer| {
             out.send(
@@ -772,7 +896,7 @@ impl ChordNet {
         // successor among the *existing* members (we may have already
         // learned the joiner into our tables above).
         let skip = origin.node;
-        let succ = st.succs.iter().find(|p| p.node != skip);
+        let succ = books.succs.iter(owner).find(|p| p.node != skip);
         let Some(succ) = succ else {
             // No other member known: I am the ring (or all I know is the
             // origin itself) — I own everything else.
@@ -793,8 +917,8 @@ impl ChordNet {
         if ttl == 0 {
             return; // loop guard: drop, origin retries
         }
-        let hop = st
-            .best_hop(key)
+        let hop = books
+            .best_hop(st, owner, key)
             .filter(|p| p.node != skip && p.node != node)
             .unwrap_or(succ);
         out.send(
@@ -818,8 +942,9 @@ impl ChordNet {
         token: RouteToken,
         out: &mut Outbox,
     ) {
-        let st = self.state_mut(node).expect("caller checked");
-        st.learn(succ);
+        let owner = node.index();
+        let (st, books) = self.state_mut(node).expect("caller checked");
+        books.learn(st, owner, succ);
         match token {
             RouteToken::Join => {
                 if succ.node == node {
@@ -829,9 +954,9 @@ impl ChordNet {
                 }
                 if !st.joined {
                     st.joined = true;
-                    st.succs.offer(succ);
+                    books.succs.offer(owner, st.me.id, succ);
                     out.events.push(ChordEvent::JoinComplete { node });
-                    if let Some(s) = st.succs.first() {
+                    if let Some(s) = books.succs.first(owner) {
                         out.send(
                             node,
                             s.node,
@@ -852,7 +977,7 @@ impl ChordNet {
             RouteToken::Finger(k) => {
                 st.pending_fingers.retain(|&(pk, _)| pk != k);
                 if succ.node != node {
-                    st.fingers.set(k, succ);
+                    books.fingers.set(owner, k, succ);
                 }
             }
             RouteToken::App(cookie) => {
@@ -875,30 +1000,31 @@ impl ChordNet {
         dead: Vec<(NodeId, u8)>,
         out: &mut Outbox,
     ) {
-        let st = self.state_mut(node).expect("caller checked");
+        let owner = node.index();
+        let (st, books) = self.state_mut(node).expect("caller checked");
         if st.stab_pending_to == Some(from) {
             st.stab_pending_to = None;
         }
         if st.probe_pending == Some(from) {
             st.probe_pending = None;
         }
-        st.probe_misses.remove(&from.0);
+        books.probe_misses.remove(owner, from.0);
         // Epidemic death gossip: adopt the replier's recent declarations
         // (never against ourselves or the replier, who is clearly alive)
         // and re-gossip them with one hop fewer.
         for (d, hops) in dead {
             if d != node && d != from {
-                st.forget_with_hops(d, hops.saturating_sub(1));
+                books.forget_with_hops(st, owner, d, hops.saturating_sub(1));
             }
         }
         let me = st.me;
-        let old_first = st.succs.first();
+        let old_first = books.succs.first(owner);
         // Adopt the successor's predecessor if it sits between us.
         if let Some(p) = pred {
             if p.node != node {
-                if let Some(s) = st.succs.first() {
+                if let Some(s) = books.succs.first(owner) {
                     if p.id.in_open(me.id, s.id) {
-                        st.learn(p);
+                        books.learn(st, owner, p);
                     }
                 }
             }
@@ -907,11 +1033,11 @@ impl ChordNet {
         // so suspected-dead entries in the gossip are ignored).
         for p in succs {
             if p.node != node {
-                st.learn(p);
+                books.learn(st, owner, p);
             }
         }
         // Tell the (possibly new) working successor about us.
-        if let Some(s) = st.succs.first() {
+        if let Some(s) = books.succs.first(owner) {
             out.send(node, s.node, ChordMsg::Notify { peer: me }, "chord.notify");
             // A closer successor was just adopted: probe it immediately so
             // the ring walks all the way to the true successor without
@@ -925,7 +1051,8 @@ impl ChordNet {
 
     fn handle_notify(&mut self, node: NodeId, peer: Peer, out: &mut Outbox) {
         let pred_ttl = self.cfg.pred_ttl_ticks;
-        let st = self.state_mut(node).expect("caller checked");
+        let owner = node.index();
+        let (st, books) = self.state_mut(node).expect("caller checked");
         if peer.node == node {
             return;
         }
@@ -933,7 +1060,7 @@ impl ChordNet {
             None => true,
             Some(p) => peer.id.in_open(p.id, st.me.id),
         };
-        st.learn(peer);
+        books.learn(st, owner, peer);
         if adopt {
             st.pred = Some(peer);
             st.pred_ttl = pred_ttl;
@@ -955,7 +1082,8 @@ impl ChordNet {
     /// predecessor expiry.
     pub fn tick_stabilize(&mut self, node: NodeId, out: &mut Outbox) {
         let threshold = self.cfg.suspicion_misses.max(1);
-        let Some(st) = self.state_mut(node) else {
+        let owner = node.index();
+        let Some((st, books)) = self.state_mut(node) else {
             return;
         };
         st.tick += 1;
@@ -964,27 +1092,36 @@ impl ChordNet {
         let now_tick = st.tick;
         st.recent_dead
             .retain(|&(_, t, _)| now_tick.saturating_sub(t) < 10);
-        st.suspected
-            .retain(|_, &mut t| now_tick.saturating_sub(t) < SUSPECT_TTL_TICKS);
+        books
+            .suspected
+            .retain(owner, |_, t| now_tick.saturating_sub(t) < SUSPECT_TTL_TICKS);
         // Unanswered probes from last tick → count a miss; declare death
         // only after `suspicion_misses` consecutive silent rounds.
-        let declare = |st: &mut ChordState, out: &mut Outbox, suspect: NodeId| {
-            let misses = st.probe_misses.entry(suspect.0).or_insert(0);
-            *misses += 1;
-            if *misses >= threshold && st.succs.contains_node(suspect) {
-                st.probe_misses.remove(&suspect.0);
-                st.forget(suspect);
+        fn declare(
+            books: &mut Books,
+            st: &mut ChordState,
+            owner: usize,
+            threshold: u32,
+            node: NodeId,
+            out: &mut Outbox,
+            suspect: NodeId,
+        ) {
+            let misses = books.probe_misses.get(owner, suspect.0).unwrap_or(0) + 1;
+            books.probe_misses.insert(owner, suspect.0, misses);
+            if misses >= threshold && books.succs.contains_node(owner, suspect) {
+                books.probe_misses.remove(owner, suspect.0);
+                books.forget(st, owner, suspect);
                 out.events.push(ChordEvent::SuccessorDeclaredDead {
                     node,
                     dead: suspect,
                 });
             }
-        };
+        }
         if let Some(suspect) = st.stab_pending_to.take() {
-            declare(st, out, suspect);
+            declare(books, st, owner, threshold, node, out, suspect);
         }
         if let Some(suspect) = st.probe_pending.take() {
-            declare(st, out, suspect);
+            declare(books, st, owner, threshold, node, out, suspect);
         }
         // Predecessor expiry.
         if st.pred.is_some() {
@@ -994,24 +1131,24 @@ impl ChordNet {
             }
         }
         let me = st.me;
-        if let Some(s) = st.succs.first() {
+        if let Some(s) = books.succs.first(owner) {
             st.stab_pending_to = Some(s.node);
             out.send(node, s.node, ChordMsg::GetPred { from: me }, "chord.stab");
         }
         // Deep probe: one non-head successor-list entry per tick, rotating
         // from the position after the last probed entry so every slot is
         // covered within `len` ticks even as the list shrinks.
-        let deep: Vec<Peer> = st.succs.iter().skip(1).collect();
-        if !deep.is_empty() {
+        let deep_len = books.succs.len(owner).saturating_sub(1);
+        if deep_len > 0 {
+            let deep = || books.succs.iter(owner).skip(1);
             let start = match st.last_deep_probe {
-                Some(last) => deep
-                    .iter()
+                Some(last) => deep()
                     .position(|p| p.node == last)
-                    .map(|i| (i + 1) % deep.len())
+                    .map(|i| (i + 1) % deep_len)
                     .unwrap_or(0),
                 None => 0,
             };
-            let target = deep[start];
+            let target = deep().nth(start).expect("start < deep_len");
             st.last_deep_probe = Some(target.node);
             st.probe_pending = Some(target.node);
             out.send(
@@ -1029,18 +1166,20 @@ impl ChordNet {
     /// table so the next attempt routes around it.
     pub fn tick_fix_fingers(&mut self, node: NodeId, out: &mut Outbox) {
         let per = self.cfg.fingers_per_tick;
-        let Some(st) = self.state_mut(node) else {
+        let owner = node.index();
+        let Some((st, books)) = self.state_mut(node) else {
             return;
         };
-        if st.succs.is_empty() {
+        if books.succs.is_empty(owner) {
             return; // singleton or not joined: nothing to fix
         }
         // Drop hops whose lookups vanished from the finger table only — the
         // loss may have been farther down the path, so this is weak evidence
         // and does not tombstone (the hop can be re-learned from gossip or
         // a later answer immediately).
-        for (_, hop) in std::mem::take(&mut st.pending_fingers) {
-            st.fingers.remove_node(hop);
+        let stale = std::mem::take(&mut st.pending_fingers);
+        for &(_, hop) in stale.iter() {
+            books.fingers.remove_node(owner, hop);
         }
         let me = st.me;
         let mut k = st.next_finger;
@@ -1049,27 +1188,27 @@ impl ChordNet {
             let start = me.id.finger_start(k);
             // Resolve locally when we already know the owner.
             let answered = {
-                let succ = st.succs.first().expect("non-empty checked above");
+                let succ = books.succs.first(owner).expect("non-empty checked above");
                 if let Some(pred) = st.pred {
                     if start.in_open_closed(pred.id, me.id) {
-                        st.fingers.clear(k); // we own it ourselves
+                        books.fingers.clear(owner, k); // we own it ourselves
                         true
                     } else if start.in_open_closed(me.id, succ.id) {
-                        st.fingers.set(k, succ);
+                        books.fingers.set(owner, k, succ);
                         true
                     } else {
                         false
                     }
                 } else if start.in_open_closed(me.id, succ.id) {
-                    st.fingers.set(k, succ);
+                    books.fingers.set(owner, k, succ);
                     true
                 } else {
                     false
                 }
             };
             if !answered {
-                let succ = st.succs.first().expect("non-empty checked above");
-                let hop = st.best_hop(start).unwrap_or(succ);
+                let succ = books.succs.first(owner).expect("non-empty checked above");
+                let hop = books.best_hop(st, owner, start).unwrap_or(succ);
                 let hop = if hop.node == node { succ } else { hop };
                 st.pending_fingers.push((k, hop.node));
                 out.send(
@@ -1097,7 +1236,7 @@ impl ChordNet {
     /// [`ChordEvent::AppLookupDone`].
     pub fn app_lookup(&mut self, node: NodeId, key: ChordId, cookie: u64, out: &mut Outbox) {
         let Some(st) = self.state(node) else { return };
-        let me = st.me;
+        let me = st.me();
         self.handle_find(node, key, me, RouteToken::App(cookie), FIND_TTL, out);
     }
 
@@ -1106,9 +1245,10 @@ impl ChordNet {
     /// Hosts that piggyback application payloads hop-by-hop (as DCO does for
     /// `Insert`/`Lookup`) call this at every hop.
     pub fn route_next(&self, node: NodeId, key: ChordId) -> Option<RouteDecision> {
-        let st = self.state(node)?;
+        let owner = node.index();
+        let st = self.nodes.get(owner).and_then(Option::as_ref)?;
         let me = st.me;
-        let Some(succ) = st.succs.first() else {
+        let Some(succ) = self.books.succs.first(owner) else {
             return Some(RouteDecision::Deliver); // singleton owns all
         };
         if let Some(pred) = st.pred {
@@ -1119,7 +1259,7 @@ impl ChordNet {
         if key.in_open_closed(me.id, succ.id) {
             return Some(RouteDecision::DeliverAt(succ));
         }
-        let hop = st.best_hop(key).unwrap_or(succ);
+        let hop = self.books.best_hop(st, owner, key).unwrap_or(succ);
         let hop = if hop.node == node { succ } else { hop };
         Some(RouteDecision::Forward(hop))
     }
@@ -1157,22 +1297,23 @@ impl ChordNet {
         let mut net = ChordNet::new(cap, cfg);
         let oracle = OracleRing::from_members(peers.iter().copied());
         for &p in peers {
+            let slot = p.node.index();
             let mut st = ChordState::new(p, &net.cfg);
             st.joined = true;
             if peers.len() > 1 {
                 st.pred = oracle.predecessor(p.id).filter(|q| q.node != p.node);
                 for s in oracle.successors(p.id, net.cfg.successor_list_len) {
-                    st.succs.offer(s);
+                    net.books.succs.offer(slot, p.id, s);
                 }
                 for k in 0..crate::id::ID_BITS {
                     if let Some(owner) = oracle.owner(p.id.finger_start(k)) {
                         if owner.node != p.node {
-                            st.fingers.set(k, owner);
+                            net.books.fingers.set(slot, k, owner);
                         }
                     }
                 }
             }
-            net.nodes[p.node.index()] = Some(st);
+            net.nodes[slot] = Some(st);
         }
         net
     }

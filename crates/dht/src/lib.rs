@@ -8,7 +8,11 @@
 //! * [`hash`] — consistent hashing of node addresses and chunk names onto
 //!   the ring (FNV-1a + SplitMix64 finalizer).
 //! * [`finger`] / [`successors`] — the per-node routing state: finger table
-//!   and successor list.
+//!   and successor list (retained reference models; the protocol's hot
+//!   path uses the pooled layout in [`pool`]).
+//! * [`pool`] — struct-of-arrays pools holding every node's successor
+//!   list and finger table in flat arrays, so churn-scale populations
+//!   (N ≥ 50k) fit without per-node heap allocations.
 //! * [`store`] — key-addressed multi-value storage with clockwise-range
 //!   extraction for ownership transfers.
 //! * [`ring`] — an omniscient oracle used by tests and by the static-ring
@@ -70,6 +74,7 @@ pub mod finger;
 pub mod hash;
 pub mod id;
 pub mod kv;
+pub mod pool;
 pub mod ring;
 pub mod store;
 pub mod successors;

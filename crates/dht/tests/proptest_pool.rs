@@ -1,0 +1,359 @@
+//! Property tests pinning the pooled routing-state layout against the
+//! retained reference models, plus churn edge cases on the flat layout.
+//!
+//! The flat churn path keeps every node's successor list and finger table
+//! in [`dco_dht::pool`]'s struct-of-arrays pools; [`SuccessorList`] and
+//! [`FingerTable`] are retained as executable specifications. These tests
+//! drive both layouts through identical operation sequences (across many
+//! interleaved owners, so pool segment arithmetic is exercised) and demand
+//! identical observable state. Driven by the in-tree `dco-testkit`
+//! (deterministic seeds, `DCO_TESTKIT_REPLAY` to reproduce a failure).
+//!
+//! The scenario tests at the bottom cover the churn edge cases that bit
+//! the pooled layout hardest during bring-up: slot reuse on rejoin (stale
+//! books must never leak across tenancies), mass simultaneous departure,
+//! and a departed node rejoining while peers still hold tombstones and
+//! pending-probe entries for its previous life.
+
+use std::collections::BTreeSet;
+
+use dco_dht::chord::{ChordConfig, ChordNet, Outbox, RouteDecision};
+use dco_dht::finger::FingerTable;
+use dco_dht::hash::hash_node;
+use dco_dht::id::{ChordId, Peer};
+use dco_dht::pool::{FingerPool, SuccessorPool};
+use dco_dht::ring::OracleRing;
+use dco_dht::successors::SuccessorList;
+use dco_sim::node::NodeId;
+use dco_testkit::{check, tk_assert, tk_assert_eq, Gen};
+
+// ---------------------------------------------------------------------
+// Pool vs retained reference model
+// ---------------------------------------------------------------------
+
+/// A random peer with a small node-id space so removals actually hit.
+fn gen_peer(g: &mut Gen) -> Peer {
+    Peer::new(ChordId(g.any_u64()), NodeId(g.usize_in(0, 24) as u32))
+}
+
+/// Arbitrary interleaved offer/remove sequences on [`SuccessorPool`]
+/// produce exactly the retained [`SuccessorList`] per owner: same order,
+/// same first, same membership, same capacity behaviour.
+#[test]
+fn successor_pool_matches_retained_list() {
+    check("successor_pool_matches_retained_list", 128, |g| {
+        let owners = g.usize_in(1, 5);
+        let cap = g.usize_in(1, 9);
+        let me_ids: Vec<ChordId> = (0..owners).map(|_| ChordId(g.any_u64())).collect();
+        let mut pool = SuccessorPool::new(owners, cap);
+        let mut refs: Vec<SuccessorList> = me_ids
+            .iter()
+            .map(|&me| SuccessorList::new(me, cap))
+            .collect();
+        for _ in 0..g.usize_in(1, 120) {
+            let o = g.usize_in(0, owners);
+            if g.usize_in(0, 4) == 0 {
+                let node = NodeId(g.usize_in(0, 24) as u32);
+                tk_assert_eq!(
+                    pool.remove_node(o, node),
+                    refs[o].remove_node(node),
+                    "remove_node return"
+                );
+            } else {
+                let p = gen_peer(g);
+                tk_assert_eq!(
+                    pool.offer(o, me_ids[o], p),
+                    refs[o].offer(p),
+                    "offer return for {p:?}"
+                );
+            }
+            for (o, r) in refs.iter().enumerate() {
+                let got: Vec<Peer> = pool.iter(o).collect();
+                let want: Vec<Peer> = r.iter().collect();
+                tk_assert_eq!(got, want, "owner {o} diverged");
+                tk_assert_eq!(pool.first(o), r.first());
+                tk_assert_eq!(pool.len(o), r.len());
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Arbitrary set/clear/offer/remove sequences on [`FingerPool`] produce
+/// exactly the retained [`FingerTable`] per owner, including the derived
+/// queries (`closest_preceding`, `distinct_peers`, `populated`).
+#[test]
+fn finger_pool_matches_retained_table() {
+    check("finger_pool_matches_retained_table", 96, |g| {
+        let owners = g.usize_in(1, 4);
+        let me_ids: Vec<ChordId> = (0..owners).map(|_| ChordId(g.any_u64())).collect();
+        let mut pool = FingerPool::new(owners);
+        let mut refs: Vec<FingerTable> = me_ids.iter().map(|&me| FingerTable::new(me)).collect();
+        for _ in 0..g.usize_in(1, 160) {
+            let o = g.usize_in(0, owners);
+            match g.usize_in(0, 4) {
+                0 => {
+                    let k = g.usize_in(0, 64) as u32;
+                    let p = gen_peer(g);
+                    pool.set(o, k, p);
+                    refs[o].set(k, p);
+                }
+                1 => {
+                    let k = g.usize_in(0, 64) as u32;
+                    pool.clear(o, k);
+                    refs[o].clear(k);
+                }
+                2 => {
+                    let node = NodeId(g.usize_in(0, 24) as u32);
+                    tk_assert_eq!(
+                        pool.remove_node(o, node),
+                        refs[o].remove_node(node),
+                        "remove_node count"
+                    );
+                }
+                _ => {
+                    let p = gen_peer(g);
+                    pool.offer(o, me_ids[o], p);
+                    refs[o].offer(p);
+                }
+            }
+            let key = ChordId(g.any_u64());
+            for (o, (r, &me)) in refs.iter().zip(me_ids.iter()).enumerate() {
+                for k in 0..64u32 {
+                    tk_assert_eq!(pool.get(o, k), r.get(k), "finger {k} of owner {o}");
+                }
+                tk_assert_eq!(pool.populated(o), r.populated());
+                tk_assert_eq!(
+                    pool.closest_preceding(o, me, key),
+                    r.closest_preceding(key),
+                    "closest_preceding owner {o}"
+                );
+                tk_assert_eq!(pool.distinct_peers(o), r.distinct_peers());
+            }
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------
+// Churn edge cases on the flat layout
+// ---------------------------------------------------------------------
+
+/// Delivers all outstanding sends synchronously until quiescence.
+fn pump(net: &mut ChordNet, out: &mut Outbox) {
+    while !out.sends.is_empty() {
+        let sends = std::mem::take(&mut out.sends);
+        for s in sends {
+            net.handle(s.to, s.from, s.msg, out);
+        }
+    }
+    out.events.clear();
+}
+
+fn converge(net: &mut ChordNet, nodes: &[NodeId], bootstrap: NodeId, rounds: usize) {
+    let mut out = Outbox::new();
+    for _ in 0..rounds {
+        for &n in nodes {
+            if !net.state(n).map(|s| s.is_joined()).unwrap_or(true) {
+                net.retry_join(n, bootstrap, &mut out);
+            }
+            net.tick_stabilize(n, &mut out);
+            net.tick_fix_fingers(n, &mut out);
+        }
+        pump(net, &mut out);
+    }
+}
+
+/// Walks greedy routing from `start`; returns the delivering node.
+fn route(net: &ChordNet, start: NodeId, key: ChordId) -> Option<NodeId> {
+    let mut at = start;
+    let mut hops = 0;
+    loop {
+        match net.route_next(at, key)? {
+            RouteDecision::Deliver => return Some(at),
+            RouteDecision::DeliverAt(p) => return Some(p.node),
+            RouteDecision::Forward(p) => {
+                at = p.node;
+                hops += 1;
+                if hops > 128 {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+fn gen_ring(g: &mut Gen, lo: usize, hi: usize) -> Vec<Peer> {
+    let mut ids = BTreeSet::new();
+    let want = g.usize_in(lo, hi);
+    while ids.len() < want {
+        ids.insert(g.any_u64());
+    }
+    ids.iter()
+        .enumerate()
+        .map(|(i, &id)| Peer::new(ChordId(id), NodeId(i as u32)))
+        .collect()
+}
+
+/// Mass simultaneous departure: more than half of one node's successor
+/// list (its "clients" in coordinator terms) vanishes in the same
+/// instant. The survivor's pooled books must flush every corpse and
+/// routing must reconverge to the survivor oracle.
+#[test]
+fn mass_departure_flushes_pooled_books() {
+    check("mass_departure_flushes_pooled_books", 32, |g| {
+        let peers = gen_ring(g, 10, 24);
+        let mut net = ChordNet::build_static(&peers, ChordConfig::default());
+        let observer = peers[g.usize_in(0, peers.len())];
+        // Kill >50% of the observer's successor list at once.
+        let succs: Vec<NodeId> = net
+            .state(observer.node)
+            .unwrap()
+            .successor_list()
+            .iter()
+            .map(|p| p.node)
+            .collect();
+        let kill: Vec<NodeId> = succs.iter().copied().take(succs.len() / 2 + 1).collect();
+        tk_assert!(kill.len() * 2 > succs.len(), "must kill a majority");
+        for &k in &kill {
+            net.fail(k);
+        }
+        let alive: Vec<Peer> = peers
+            .iter()
+            .copied()
+            .filter(|p| !kill.contains(&p.node))
+            .collect();
+        let alive_nodes: Vec<NodeId> = alive.iter().map(|p| p.node).collect();
+        converge(&mut net, &alive_nodes, alive_nodes[0], 16);
+        // Every corpse is gone from the observer's pooled successor list.
+        let st = net.state(observer.node).unwrap();
+        for p in st.successor_list() {
+            tk_assert!(!kill.contains(&p.node), "corpse {p:?} still listed");
+        }
+        for p in st.fingers().distinct_peers() {
+            tk_assert!(!kill.contains(&p.node), "corpse {p:?} still a finger");
+        }
+        // Routing reconverged to the survivor oracle.
+        let oracle = OracleRing::from_members(alive.iter().copied());
+        let key = ChordId(g.any_u64());
+        let want = oracle.owner(key).unwrap().node;
+        let got = route(&net, observer.node, key);
+        tk_assert_eq!(got, Some(want), "key {key:?}");
+        Ok(())
+    });
+}
+
+/// Departure mid-join ("mid-promotion" in DCO terms: a client invited
+/// into the ring dies between starting and completing its Chord join).
+/// The half-joined tenant's books must not wedge the ring, and the slot
+/// must be cleanly reusable by the next tenancy.
+#[test]
+fn departure_mid_join_leaves_no_stale_books() {
+    check("departure_mid_join_leaves_no_stale_books", 32, |g| {
+        let peers = gen_ring(g, 4, 12);
+        let mut net = ChordNet::new(peers.len() + 1, ChordConfig::default());
+        let mut out = Outbox::new();
+        net.bootstrap(peers[0]);
+        let mut members = vec![peers[0].node];
+        for &p in &peers[1..] {
+            net.join(p, peers[0].node, &mut out);
+            pump(&mut net, &mut out);
+            members.push(p.node);
+        }
+        converge(&mut net, &members, peers[0].node, 6);
+        // The "promoted client" starts its join but dies before any reply
+        // is delivered — its FindSucc is in flight when it fails.
+        let joiner = Peer::new(ChordId(g.any_u64()), NodeId(peers.len() as u32));
+        net.join(joiner, peers[0].node, &mut out);
+        net.fail(joiner.node);
+        pump(&mut net, &mut out); // answers arrive at a dead slot: dropped
+        tk_assert!(net.state(joiner.node).is_none(), "tenancy ended");
+        converge(&mut net, &members, peers[0].node, 8);
+        // Ring is intact and the slot is reusable: a second tenancy under
+        // the same NodeId joins normally.
+        let rejoin = Peer::new(ChordId(g.any_u64()), joiner.node);
+        net.join(rejoin, peers[0].node, &mut out);
+        pump(&mut net, &mut out);
+        let mut all = members.clone();
+        all.push(rejoin.node);
+        converge(&mut net, &all, peers[0].node, 10);
+        tk_assert!(
+            net.state(rejoin.node)
+                .map(|s| s.is_joined())
+                .unwrap_or(false),
+            "second tenancy failed to join"
+        );
+        // The reused slot's books describe the *new* identity: its
+        // successor matches the oracle over members ∪ {rejoin}.
+        let mut final_peers: Vec<Peer> = peers.clone();
+        final_peers.push(rejoin);
+        let oracle = OracleRing::from_members(final_peers.iter().copied());
+        tk_assert_eq!(
+            net.state(rejoin.node).unwrap().successor().map(|q| q.node),
+            oracle.successor(rejoin.id).map(|q| q.node),
+            "rejoined successor"
+        );
+        Ok(())
+    });
+}
+
+/// Rejoin colliding with a stale tenancy: a node fails abruptly, peers
+/// accumulate tombstones and pending-probe entries for it, and then the
+/// same address rejoins (fresh ring ID) while those entries are still
+/// live. Direct contact must lift the suspicion and the rejoined node
+/// must be routable again — the stale pending state from the previous
+/// life must not ban the new one.
+#[test]
+fn rejoin_collides_with_stale_pending_entries() {
+    check("rejoin_collides_with_stale_pending_entries", 32, |g| {
+        let peers = gen_ring(g, 6, 14);
+        let mut net = ChordNet::build_static(&peers, ChordConfig::default());
+        let all: Vec<NodeId> = peers.iter().map(|p| p.node).collect();
+        let victim = peers[g.usize_in(0, peers.len())];
+        net.fail(victim.node);
+        let survivors: Vec<NodeId> = all.iter().copied().filter(|&n| n != victim.node).collect();
+        // Enough rounds that probes to the corpse go unanswered and at
+        // least one peer declares it dead (suspicion threshold is 3).
+        converge(&mut net, &survivors, survivors[0], 6);
+        let suspected_by_someone = survivors.iter().any(|&n| {
+            net.state(n)
+                .map(|s| s.suspects(victim.node))
+                .unwrap_or(false)
+        });
+        tk_assert!(suspected_by_someone, "no peer ever tombstoned the corpse");
+        // Rejoin under the same address with a fresh ring ID while the
+        // tombstones and probe-miss counters are still warm.
+        let reborn = Peer::new(ChordId(hash_node(victim.node).0 ^ g.any_u64()), victim.node);
+        let mut out = Outbox::new();
+        net.join(reborn, survivors[0], &mut out);
+        pump(&mut net, &mut out);
+        let mut members = survivors.clone();
+        members.push(reborn.node);
+        // Peers that never hear from the reborn node directly hold a
+        // tombstone until SUSPECT_TTL_TICKS (30) rounds after the *last*
+        // death-gossip receipt — and the gossip wave itself can span
+        // GOSSIP_HOPS generations of 10-tick recent-dead retention. The
+        // documented rejoin-collision behaviour is that the address stays
+        // banned at those peers until expiry, so convergence must be
+        // driven well past it before the ring fully re-adopts the slot.
+        converge(&mut net, &members, survivors[0], 90);
+        tk_assert!(
+            net.state(reborn.node)
+                .map(|s| s.is_joined())
+                .unwrap_or(false),
+            "rejoin never completed"
+        );
+        // Direct contact lifted every suspicion that mattered: the node
+        // is routable — its own key resolves to itself.
+        let mut final_peers: Vec<Peer> = peers
+            .iter()
+            .copied()
+            .filter(|p| p.node != victim.node)
+            .collect();
+        final_peers.push(reborn);
+        let oracle = OracleRing::from_members(final_peers.iter().copied());
+        let want = oracle.owner(reborn.id).unwrap().node;
+        tk_assert_eq!(route(&net, survivors[0], reborn.id), Some(want));
+        Ok(())
+    });
+}

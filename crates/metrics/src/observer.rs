@@ -340,6 +340,108 @@ impl StreamObserver {
     }
 
     // ------------------------------------------------------------------
+    // Single-pass figure fold
+    // ------------------------------------------------------------------
+
+    /// Every slab-derived figure statistic, folded in **one** pass over the
+    /// reception record: the per-second cumulative reception counts (as
+    /// [`StreamObserver::received_by_second`]), the mean mesh delay, the
+    /// mean fill ratio at each requested offset, and the percentage
+    /// received by `horizon`.
+    ///
+    /// The per-metric methods each walk the whole O(nodes × chunks) slab;
+    /// a figures extraction calls five of them. At churn scale (N ≥ 50k)
+    /// the slab is the dominant allocation, so walking it once instead of
+    /// five times keeps the extraction phase proportional to the record,
+    /// not to the metric count. Accumulation order per metric matches the
+    /// per-metric methods exactly, so every derived float is bit-identical
+    /// to its slow-path counterpart (asserted by a unit test and by the
+    /// pinned trace digests in `dco-perf`).
+    pub fn fold_figures(&self, horizon: SimTime, offsets: &[SimDuration]) -> FigureMetrics {
+        let horizon_secs = horizon.as_secs();
+        let mut cumulative = vec![0u64; horizon_secs as usize + 1];
+        let mut total = 0u64;
+        let mut mesh_sum = 0.0f64;
+        let mut mesh_n = 0usize;
+        let mut fill_sums = vec![0.0f64; offsets.len()];
+        let mut fill_counts = vec![0usize; offsets.len()];
+        let mut have_by_deadline = 0u64;
+        // Per-chunk scratch, reused across iterations.
+        let mut have_at_offset = vec![0u64; offsets.len()];
+        for seq in 0..self.generated.len() {
+            let gen = self.generated[seq];
+            if gen == SimTime::MAX {
+                continue;
+            }
+            let row = self.row(seq);
+            let mut last = gen;
+            let mut missing = false;
+            let mut audience = 0u64;
+            have_at_offset.iter_mut().for_each(|h| *h = 0);
+            for node in self.expected.ones(seq) {
+                audience += 1;
+                total += 1;
+                let t = row[node];
+                if t == SimTime::MAX {
+                    missing = true;
+                    continue;
+                }
+                last = last.max(t);
+                if t <= horizon {
+                    have_by_deadline += 1;
+                }
+                // First whole second at which `t <= from_secs(sec)`.
+                let sec = t.as_micros().div_ceil(MICROS_PER_SEC);
+                if sec <= horizon_secs {
+                    cumulative[sec as usize] += 1;
+                }
+                for (have, &off) in have_at_offset.iter_mut().zip(offsets) {
+                    if t <= gen + off {
+                        *have += 1;
+                    }
+                }
+            }
+            if audience > 0 {
+                // Mesh delay: capped at the horizon if anyone missed out.
+                let d = if missing {
+                    horizon.saturating_since(gen)
+                } else {
+                    last - gen
+                };
+                mesh_sum += d.as_secs_f64();
+                mesh_n += 1;
+                for ((sum, n), &have) in fill_sums
+                    .iter_mut()
+                    .zip(fill_counts.iter_mut())
+                    .zip(have_at_offset.iter())
+                {
+                    *sum += have as f64 / audience as f64;
+                    *n += 1;
+                }
+            }
+        }
+        for i in 1..cumulative.len() {
+            cumulative[i] += cumulative[i - 1];
+        }
+        let mean_of = |sum: f64, n: usize| if n == 0 { 0.0 } else { sum / n as f64 };
+        FigureMetrics {
+            received_by_second: cumulative,
+            expected_pairs: total,
+            mean_mesh_delay: mean_of(mesh_sum, mesh_n),
+            fill_at_offsets: fill_sums
+                .iter()
+                .zip(fill_counts.iter())
+                .map(|(&s, &n)| mean_of(s, n))
+                .collect(),
+            received_pct: if total == 0 {
+                0.0
+            } else {
+                100.0 * (have_by_deadline as f64 / total as f64)
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Metric 4: percentage of received chunks
     // ------------------------------------------------------------------
 
@@ -367,6 +469,25 @@ impl StreamObserver {
         }
         n
     }
+}
+
+/// The result of [`StreamObserver::fold_figures`]: every slab-derived
+/// figure statistic from one pass over the reception record.
+#[derive(Clone, Debug)]
+pub struct FigureMetrics {
+    /// Element `t` = expected pairs received by instant `t` seconds
+    /// (cumulative; the numerator of the global fill ratio per second).
+    pub received_by_second: Vec<u64>,
+    /// Total expected pairs over generated chunks (the denominator).
+    pub expected_pairs: u64,
+    /// Mean mesh delay in seconds (Fig. 5), unreceived chunks capped at
+    /// the horizon.
+    pub mean_mesh_delay: f64,
+    /// Mean fill ratio at each requested offset after generation
+    /// (Fig. 6), in the same order as the `offsets` argument.
+    pub fill_at_offsets: Vec<f64>,
+    /// % of expected pairs received by the horizon (Figs. 11–12).
+    pub received_pct: f64,
 }
 
 impl ReceptionLog for StreamObserver {
@@ -528,6 +649,45 @@ mod tests {
         o2.record_received(0, NodeId(0), SimTime::from_millis(1500));
         let (cum2, _) = o2.received_by_second(3);
         assert_eq!(cum2, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn fold_figures_is_bit_identical_to_per_metric_methods() {
+        // Include an unreceived pair (chunk 1 misses node 2) so the
+        // horizon-cap and missing-pair branches are exercised.
+        let o = observer();
+        let horizon = t(100);
+        let offsets = [SimDuration::from_secs(2), SimDuration::from_millis(3500)];
+        let fold = o.fold_figures(horizon, &offsets);
+        let (cum, total) = o.received_by_second(horizon.as_secs());
+        assert_eq!(fold.received_by_second, cum);
+        assert_eq!(fold.expected_pairs, total);
+        // Floats must match to the bit, not within an epsilon: the fold
+        // replays the same accumulation order as the per-metric passes.
+        assert_eq!(
+            fold.mean_mesh_delay.to_bits(),
+            o.mean_mesh_delay(horizon).to_bits()
+        );
+        for (i, &off) in offsets.iter().enumerate() {
+            assert_eq!(
+                fold.fill_at_offsets[i].to_bits(),
+                o.mean_fill_ratio_at_offset(off).to_bits(),
+                "offset {i}"
+            );
+        }
+        assert_eq!(
+            fold.received_pct.to_bits(),
+            o.received_percentage(horizon).to_bits()
+        );
+        // Empty record: all zeros, no division by zero.
+        let empty = StreamObserver::new(4, 0);
+        let f = empty.fold_figures(t(2), &offsets);
+        assert_eq!(f.received_by_second, vec![0, 0, 0]);
+        assert_eq!(
+            (f.expected_pairs, f.mean_mesh_delay, f.received_pct),
+            (0, 0.0, 0.0)
+        );
+        assert_eq!(f.fill_at_offsets, vec![0.0, 0.0]);
     }
 
     #[test]

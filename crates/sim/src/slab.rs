@@ -127,6 +127,38 @@ impl<V: Copy + Default> SlotTable<V> {
         self.lens[owner] = 0;
     }
 
+    /// Keeps only `owner`'s entries for which `f(key, value)` holds.
+    ///
+    /// Removal uses the same swap-from-the-end compaction as
+    /// [`SlotTable::remove`], so the segment's *internal* order may change —
+    /// callers must treat the table as unordered (every current caller
+    /// does; the per-entry decisions are independent of position).
+    pub fn retain(&mut self, owner: usize, mut f: impl FnMut(u32, V) -> bool) {
+        let base = owner * self.stride;
+        let mut i = 0;
+        while i < self.lens[owner] as usize {
+            if f(self.keys[base + i], self.vals[base + i]) {
+                i += 1;
+            } else {
+                let last = base + self.lens[owner] as usize - 1;
+                self.keys[base + i] = self.keys[last];
+                self.vals[base + i] = self.vals[last];
+                self.lens[owner] -= 1;
+            }
+        }
+    }
+
+    /// Grows the pool to at least `owners` owners (new owners start empty).
+    /// Existing segments are untouched: owner segments are laid out
+    /// contiguously, so appending owners only extends the arrays.
+    pub fn grow_owners(&mut self, owners: usize) {
+        if owners > self.lens.len() {
+            self.keys.resize(owners * self.stride, 0);
+            self.vals.resize(owners * self.stride, V::default());
+            self.lens.resize(owners, 0);
+        }
+    }
+
     /// Doubles every owner's segment. Rare by design — occupancy is meant
     /// to be bounded well below the initial stride.
     fn grow_stride(&mut self) {
@@ -340,6 +372,45 @@ mod tests {
             assert_eq!(t.get(0, k), Some(k * 10), "survived relayout");
         }
         assert_eq!(t.get(1, 9), Some(9), "other owners survived relayout");
+    }
+
+    #[test]
+    fn slot_table_retain_filters_per_owner() {
+        let mut t: SlotTable<u32> = SlotTable::new(2, 8);
+        for k in 0..6u32 {
+            t.insert(0, k, k * 10);
+        }
+        t.insert(1, 99, 1);
+        t.retain(0, |k, v| {
+            assert_eq!(v, k * 10, "value paired with its key");
+            k % 2 == 0
+        });
+        assert_eq!(t.len(0), 3);
+        for k in [0u32, 2, 4] {
+            assert_eq!(t.get(0, k), Some(k * 10), "kept key {k}");
+        }
+        for k in [1u32, 3, 5] {
+            assert_eq!(t.get(0, k), None, "dropped key {k}");
+        }
+        assert_eq!(t.get(1, 99), Some(1), "other owners untouched");
+        t.retain(0, |_, _| false);
+        assert!(t.is_empty(0));
+    }
+
+    #[test]
+    fn slot_table_grow_owners_preserves_segments() {
+        let mut t: SlotTable<u32> = SlotTable::new(2, 4);
+        t.insert(0, 7, 70);
+        t.insert(1, 8, 80);
+        t.grow_owners(5);
+        assert_eq!(t.owners(), 5);
+        assert_eq!(t.get(0, 7), Some(70));
+        assert_eq!(t.get(1, 8), Some(80));
+        assert!(t.is_empty(4));
+        t.insert(4, 1, 11);
+        assert_eq!(t.get(4, 1), Some(11));
+        t.grow_owners(3); // shrink request is a no-op
+        assert_eq!(t.owners(), 5);
     }
 
     #[test]
