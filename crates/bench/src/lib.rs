@@ -27,6 +27,7 @@
 pub mod ablation;
 pub mod figs;
 pub mod runner;
+pub mod shard_run;
 pub mod sweep;
 pub mod timing;
 

@@ -99,7 +99,10 @@ impl RunParams {
         }
     }
 
-    fn scenario(&self) -> Scenario {
+    /// The workload scenario these parameters describe. Public so the
+    /// sharded runner can install it in the `add_nodes` →
+    /// `enable_sharding` → `schedule_membership` order.
+    pub fn scenario(&self) -> Scenario {
         let mut s = Scenario::paper_default(self.seed);
         s.n_nodes = self.n_nodes;
         s.n_chunks = self.n_chunks;

@@ -41,6 +41,7 @@ pub mod index;
 pub mod longevity;
 pub mod proto;
 pub mod window;
+pub mod wire;
 
 pub use buffer::BufferMap;
 pub use chunk::{ChunkNamer, ChunkSeq};

@@ -35,6 +35,7 @@ use dco_dht::hash::hash_node;
 use dco_dht::id::{ChordId, Peer};
 use dco_metrics::StreamObserver;
 use dco_sim::prelude::*;
+use dco_sim::rng::SimRng;
 use dco_sim::slab::{ListSlab, SlotTable};
 use dco_sim::smallvec::SmallVec;
 
@@ -344,6 +345,13 @@ struct NodeState {
     report_cursor: u32,
     /// Covariates for the longevity model.
     covariates: Covariates,
+    /// Sharded runs only: this node's private selection stream, lazily
+    /// seeded from the engine's hub. Single-process runs keep drawing
+    /// from the shared engine stream (pinned trace digests depend on it);
+    /// sharded runs must not (`Ctx::rng` panics there), and per-node
+    /// streams are consumed in the node's canonical dispatch order, which
+    /// is identical on every shard count.
+    select_rng: Option<SimRng>,
 }
 
 impl NodeState {
@@ -368,6 +376,7 @@ impl NodeState {
             lookups_handled: 0,
             coord_failures: 0,
             report_cursor: 0,
+            select_rng: None,
             covariates: Covariates {
                 buffering_level: 0,
                 join_hour: (now.as_secs_f64() / 3600.0) % 24.0,

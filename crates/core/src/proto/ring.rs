@@ -11,6 +11,10 @@ use crate::index::ChunkIndex;
 
 use super::{DcoMsg, DcoProtocol, DcoTimer, NodeState, Role, TierMode};
 
+/// Hub stream id for the per-node provider-selection RNG used in sharded
+/// runs (any fixed value works; it only has to differ from other streams).
+const SELECT_RNG_STREAM: u64 = 0x005E_1EC7;
+
 impl DcoProtocol {
     // ------------------------------------------------------------------
     // Membership
@@ -507,10 +511,21 @@ impl DcoProtocol {
         // {origin, dead} — this runs once per delivered lookup.
         let excluded_buf = [origin, exclude.unwrap_or(origin)];
         let excluded: &[NodeId] = &excluded_buf[..1 + usize::from(exclude.is_some())];
-        let mut provider = st
-            .index
-            .select(key, floor, policy, excluded, ctx.rng())
-            .map(|idx| idx.holder);
+        let mut provider = {
+            // Shared stream normally (the pinned trace digests consume
+            // it); a private per-node stream when sharded, where the
+            // shared stream is not shard-invariant. The paper's
+            // sufficient-bandwidth policy never actually draws.
+            let rng = if ctx.is_sharded() {
+                st.select_rng
+                    .get_or_insert_with(|| ctx.hub().node_rng(SELECT_RNG_STREAM, at))
+            } else {
+                ctx.rng()
+            };
+            st.index
+                .select(key, floor, policy, excluded, rng)
+                .map(|idx| idx.holder)
+        };
         if provider.is_none() {
             self.provider_none += 1;
             // §III-B2: "A chunk request in DCO is always answered with a

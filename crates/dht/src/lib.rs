@@ -78,6 +78,7 @@ pub mod pool;
 pub mod ring;
 pub mod store;
 pub mod successors;
+pub mod wire;
 
 pub use chord::{
     ChordConfig, ChordEvent, ChordMsg, ChordNet, Outbox, RouteDecision, RouteStep, RouteToken,

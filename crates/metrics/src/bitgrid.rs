@@ -83,6 +83,26 @@ impl BitGrid {
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// The backing word slab (row-major, `rows() * cols().div_ceil(64)`
+    /// words). Used to ship audience grids between shard workers.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// ORs another grid's word slab (same column count, `rows` rows) into
+    /// this one, growing the row dimension if needed.
+    pub fn or_words(&mut self, rows: usize, words: &[u64]) {
+        assert_eq!(
+            words.len(),
+            rows * self.row_words,
+            "word slab does not match this grid's geometry"
+        );
+        self.grow_rows(rows);
+        for (dst, src) in self.words.iter_mut().zip(words) {
+            *dst |= src;
+        }
+    }
 }
 
 /// Iterator over the set-bit columns of one [`BitGrid`] row.

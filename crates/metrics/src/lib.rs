@@ -25,6 +25,7 @@ pub mod observer;
 pub mod playback;
 pub mod reference;
 pub mod series;
+pub mod shard;
 pub mod stats;
 
 pub use bitgrid::BitGrid;
@@ -32,3 +33,4 @@ pub use observer::{ReceptionLog, StreamObserver};
 pub use playback::{mean_continuity, replay, PlaybackReport, PlayerPolicy};
 pub use reference::RetainedObserver;
 pub use series::{average_figures, Figure, Series};
+pub use shard::ObserverShard;

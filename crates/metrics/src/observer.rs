@@ -469,6 +469,78 @@ impl StreamObserver {
         }
         n
     }
+
+    // ------------------------------------------------------------------
+    // Sharded-run export / merge
+    // ------------------------------------------------------------------
+
+    /// Exports this observer's filled slots in sparse wire form for a
+    /// shard worker (see [`crate::shard::ObserverShard`]). A worker only
+    /// fills the reception slots of the nodes it owns, plus — on the
+    /// server's shard — the generation times and the audience grid, so
+    /// the export is `O(filled)` rather than `O(chunks × nodes)`.
+    pub fn export_shard(&self) -> crate::shard::ObserverShard {
+        let generated: Vec<(u32, SimTime)> = self
+            .generated
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != SimTime::MAX)
+            .map(|(seq, &t)| (seq as u32, t))
+            .collect();
+        let receptions: Vec<(u64, SimTime)> = self
+            .first_rx
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != SimTime::MAX)
+            .map(|(slot, &t)| (slot as u64, t))
+            .collect();
+        // Non-server shards never touch the audience grid; ship nothing
+        // rather than rows of zero words.
+        let (expected_rows, expected_words) = if self.expected.count_ones() == 0 {
+            (0, Vec::new())
+        } else {
+            (self.expected.rows() as u64, self.expected.words().to_vec())
+        };
+        crate::shard::ObserverShard {
+            n_nodes: self.n_nodes as u64,
+            n_chunks: self.generated.len() as u64,
+            generated,
+            receptions,
+            expected_rows,
+            expected_words,
+            duplicates: self.duplicates,
+            out_of_order: self.out_of_order,
+        }
+    }
+
+    /// Folds one worker's export into this observer. Slot ownership is
+    /// disjoint across workers (each node's receptions are recorded on
+    /// exactly one shard; generation and audience only on the server's),
+    /// so absorbing every shard of a run reassembles the single-process
+    /// observer exactly.
+    pub fn absorb_shard(&mut self, s: &crate::shard::ObserverShard) {
+        assert_eq!(
+            self.n_nodes as u64, s.n_nodes,
+            "shard node dimension mismatch"
+        );
+        self.grow_chunks(s.n_chunks as usize);
+        for &(seq, t) in &s.generated {
+            let slot = &mut self.generated[seq as usize];
+            debug_assert!(*slot == SimTime::MAX, "chunk {seq} generated on two shards");
+            *slot = t;
+        }
+        for &(slot, t) in &s.receptions {
+            let slot = &mut self.first_rx[slot as usize];
+            debug_assert!(*slot == SimTime::MAX, "reception slot owned by two shards");
+            *slot = t;
+        }
+        if !s.expected_words.is_empty() {
+            self.expected
+                .or_words(s.expected_rows as usize, &s.expected_words);
+        }
+        self.duplicates += s.duplicates;
+        self.out_of_order += s.out_of_order;
+    }
 }
 
 /// The result of [`StreamObserver::fold_figures`]: every slab-derived

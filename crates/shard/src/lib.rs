@@ -1,0 +1,41 @@
+//! # dco-shard — one simulation across K worker processes
+//!
+//! This crate runs a single deterministic simulation partitioned across `K`
+//! OS processes. The node ID space is split into `K` contiguous ring arcs
+//! ([`partition`]); each worker owns one arc and runs the unmodified
+//! `dco-sim` engine over the *whole* membership script, dispatching only the
+//! events whose subject it owns (foreign joins/leaves flip shadow alive
+//! bits). Messages addressed to a foreign arc are intercepted by the engine
+//! and exchanged in batched **epochs**.
+//!
+//! ## Conservative lookahead
+//!
+//! The paper's network model charges a constant 50 ms one-way link latency.
+//! That constant is a *lookahead bound*: a message sent at time `t` cannot
+//! arrive before `t + L`. Workers therefore advance in lockstep windows of
+//! exactly `L`: every event in `[eL, (e+1)L)` is dispatched before any
+//! cross-worker message sent in that window could matter, because such a
+//! message arrives at `≥ (e+1)L` — always in a *later* window. One exchange
+//! barrier per window is sufficient for full causal correctness; no
+//! rollback, no null messages.
+//!
+//! ## Pieces
+//!
+//! * [`frame`] — length-prefixed binary frames over any byte stream.
+//! * [`link`] — [`link::FrameLink`]: process pipes or in-memory channels.
+//! * [`partition`] — contiguous ring arcs → `node → shard` map.
+//! * [`epoch`] — the worker loop and the orchestrator relay loop.
+//! * [`procpool`] — spawn/reap worker processes with captured stderr.
+//!
+//! The crate depends only on `dco-sim` (and the standard library): protocol
+//! messages cross process boundaries via `dco_sim::wire::WireCodec`, so any
+//! protocol with a codec for its `Msg` type can run sharded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod frame;
+pub mod link;
+pub mod partition;
+pub mod procpool;

@@ -1,0 +1,72 @@
+//! Contiguous ring-arc partitioning.
+//!
+//! Shards own *arcs of the DHT ring*, not arbitrary node subsets: DCO's
+//! traffic is dominated by coordinator↔successor/finger chatter between
+//! ring-adjacent peers, so cutting the ring into `K` contiguous arcs keeps
+//! most messages shard-local and only arc-boundary (plus finger/lookup)
+//! traffic crosses processes.
+//!
+//! The caller supplies the ring position of each node (`dco-dht`'s
+//! `hash_node`); this crate stays protocol-agnostic.
+
+/// Splits nodes `0..n` into `k` contiguous ring arcs of near-equal
+/// population, returning `map[node] = shard`.
+///
+/// Nodes are sorted by `(ring_pos(node), node)` — the tiebreak makes the
+/// arcs well-defined even under hash collisions — and the sorted order is
+/// cut into `k` runs whose sizes differ by at most one.
+pub fn contiguous_arcs(n: usize, k: u8, ring_pos: impl Fn(u32) -> u64) -> Vec<u8> {
+    assert!(k >= 1, "need at least one shard");
+    assert!(n >= k as usize, "fewer nodes than shards");
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&id| (ring_pos(id), id));
+    let mut map = vec![0u8; n];
+    let (base, extra) = (n / k as usize, n % k as usize);
+    let mut cursor = 0usize;
+    for shard in 0..k {
+        // The first `extra` arcs absorb the remainder, one node each.
+        let len = base + usize::from((shard as usize) < extra);
+        for &id in &order[cursor..cursor + len] {
+            map[id as usize] = shard;
+        }
+        cursor += len;
+    }
+    debug_assert_eq!(cursor, n);
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arcs_are_contiguous_in_ring_order() {
+        let pos = |id: u32| u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let n = 103;
+        let map = contiguous_arcs(n, 4, pos);
+        // Walking the ring in position order, the shard index must be
+        // non-decreasing: each shard owns exactly one arc.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&id| (pos(id), id));
+        let walk: Vec<u8> = order.iter().map(|&id| map[id as usize]).collect();
+        assert!(walk.windows(2).all(|w| w[0] <= w[1]), "{walk:?}");
+        // Near-equal population.
+        for shard in 0..4u8 {
+            let pop = map.iter().filter(|&&s| s == shard).count();
+            assert!((25..=26).contains(&pop), "shard {shard} owns {pop}");
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        assert_eq!(contiguous_arcs(5, 1, u64::from), vec![0; 5]);
+    }
+
+    #[test]
+    fn collisions_are_broken_by_node_id() {
+        // All nodes hash to the same point; the arcs must still be a
+        // deterministic, balanced split.
+        let map = contiguous_arcs(6, 3, |_| 42);
+        assert_eq!(map, vec![0, 0, 1, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Worker process lifecycle: spawn, harvest, reap on failure.
+//!
+//! Workers are re-execs of the orchestrator binary (`current_exe`) with a
+//! hidden worker flag in `argv`; they speak the epoch protocol over
+//! stdin/stdout while stderr is captured to a per-worker temp file. On any
+//! failure the whole pool is killed, every child is waited on (no zombies),
+//! and the failing workers' stderr is folded into the returned error so the
+//! user sees the actual panic message instead of a bare broken pipe.
+
+use std::fs::{self, File};
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use crate::link::PipeLink;
+
+/// One spawned worker: the child process plus its framed stdio link.
+pub struct WorkerProc {
+    /// OS child handle.
+    pub child: Child,
+    /// Framed stdio transport (child stdout → recv, child stdin → send).
+    pub link: PipeLink<ChildStdout, ChildStdin>,
+    /// Shard index, for error reporting.
+    pub shard: usize,
+    stderr_path: PathBuf,
+}
+
+/// Temp-file path for one worker's captured stderr, unique per orchestrator
+/// process (`pid`) so concurrent runs don't collide.
+pub fn stderr_capture_path(shard: usize) -> PathBuf {
+    std::env::temp_dir().join(format!("dco-shard-{}-w{shard}.stderr", std::process::id()))
+}
+
+/// Spawns one worker running `program args…` with framed stdio.
+pub fn spawn_worker_with_program(
+    program: &Path,
+    args: &[String],
+    shard: usize,
+) -> io::Result<WorkerProc> {
+    let stderr_path = stderr_capture_path(shard);
+    let stderr_file = File::create(&stderr_path)?;
+    let mut child = Command::new(program)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::from(stderr_file))
+        .spawn()?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    Ok(WorkerProc {
+        child,
+        link: PipeLink::new(stdout, stdin),
+        shard,
+        stderr_path,
+    })
+}
+
+/// Spawns one worker as a re-exec of the current binary.
+pub fn spawn_worker(args: &[String], shard: usize) -> io::Result<WorkerProc> {
+    let exe = std::env::current_exe()?;
+    spawn_worker_with_program(&exe, args, shard)
+}
+
+impl WorkerProc {
+    /// Waits for a finished worker and cleans up its stderr capture.
+    ///
+    /// Call after the orchestrator has collected the worker's `RESULT`
+    /// frame; a nonzero exit at that point still fails the run.
+    pub fn finish(mut self) -> io::Result<()> {
+        // Close our end of the child's stdin so it can't block on reads.
+        drop(self.link);
+        let status = self.child.wait()?;
+        let tail = read_tail(&self.stderr_path);
+        let _ = fs::remove_file(&self.stderr_path);
+        if !status.success() {
+            return Err(io::Error::other(format!(
+                "shard {} worker exited with {status}{}",
+                self.shard,
+                fmt_stderr(&tail)
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Kills and reaps the whole pool after `cause`, folding each dead worker's
+/// exit status and captured stderr into the returned error.
+///
+/// Killing before waiting guarantees no hang: a worker blocked on a pipe
+/// whose peer died would otherwise wait forever.
+pub fn reap_failure(workers: Vec<WorkerProc>, cause: io::Error) -> io::Error {
+    let mut detail = format!("sharded run failed: {cause}");
+    for mut w in workers {
+        // Drop the link first: closes the child's stdin, unblocking reads.
+        drop(w.link);
+        let _ = w.child.kill();
+        match w.child.wait() {
+            Ok(status) if !status.success() => {
+                let tail = read_tail(&w.stderr_path);
+                detail.push_str(&format!(
+                    "\n  shard {}: exited with {status}{}",
+                    w.shard,
+                    fmt_stderr(&tail)
+                ));
+            }
+            Ok(_) => {}
+            Err(e) => detail.push_str(&format!("\n  shard {}: wait failed: {e}", w.shard)),
+        }
+        let _ = fs::remove_file(&w.stderr_path);
+    }
+    io::Error::new(cause.kind(), detail)
+}
+
+/// Last few KB of a worker's captured stderr (panics print at the end).
+fn read_tail(path: &Path) -> String {
+    const TAIL: usize = 8 * 1024;
+    let mut buf = String::new();
+    if File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut buf))
+        .is_err()
+    {
+        return String::new();
+    }
+    let start = buf.len().saturating_sub(TAIL);
+    // Don't split a UTF-8 char.
+    let start = (start..buf.len())
+        .find(|&i| buf.is_char_boundary(i))
+        .unwrap_or(0);
+    buf[start..].trim_end().to_string()
+}
+
+fn fmt_stderr(tail: &str) -> String {
+    if tail.is_empty() {
+        String::new()
+    } else {
+        format!("; stderr:\n    {}", tail.replace('\n', "\n    "))
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use crate::link::FrameLink;
+
+    /// A worker that writes to stderr and dies with a nonzero status: the
+    /// orchestrator side must observe EOF (not hang), and reaping must
+    /// surface the exit status and the stderr text.
+    #[test]
+    fn crashed_worker_is_reaped_with_stderr_surfaced() {
+        let mut w = spawn_worker_with_program(
+            Path::new("/bin/sh"),
+            &["-c".to_string(), "echo boom >&2; exit 3".to_string()],
+            0,
+        )
+        .unwrap();
+        let eof = w.link.recv().unwrap_err();
+        assert_eq!(eof.kind(), io::ErrorKind::UnexpectedEof);
+        let err = reap_failure(vec![w], eof);
+        let msg = err.to_string();
+        assert!(msg.contains("shard 0"), "{msg}");
+        assert!(
+            msg.contains("exit status: 3") || msg.contains("exit code: 3"),
+            "{msg}"
+        );
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn healthy_worker_finishes_cleanly() {
+        let mut w = spawn_worker_with_program(
+            Path::new("/bin/sh"),
+            &["-c".to_string(), "cat >/dev/null".to_string()],
+            1,
+        )
+        .unwrap();
+        // `cat` exits when our end of its stdin closes inside finish().
+        w.link.flush().unwrap();
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn failing_exit_status_fails_finish_even_after_result() {
+        let w = spawn_worker_with_program(
+            Path::new("/bin/sh"),
+            &["-c".to_string(), "echo tail-error >&2; exit 1".to_string()],
+            2,
+        )
+        .unwrap();
+        let err = w.finish().unwrap_err();
+        assert!(err.to_string().contains("tail-error"), "{err}");
+    }
+}

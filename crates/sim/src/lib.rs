@@ -84,6 +84,7 @@ pub mod slab;
 pub mod smallvec;
 pub mod time;
 pub mod trace;
+pub mod wire;
 
 /// One-stop imports for protocol implementors.
 pub mod prelude {

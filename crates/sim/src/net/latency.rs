@@ -57,6 +57,19 @@ impl LatencyModel {
         LatencyModel::Matrix { table, n, default }
     }
 
+    /// The constant latency, when the model is [`LatencyModel::Constant`].
+    ///
+    /// Sharded runs use this as the conservative lookahead: with a constant
+    /// one-way delay every cross-worker message arrives at least this far
+    /// after it was sent, so workers can advance in lockstep windows of
+    /// exactly this width.
+    pub fn as_constant(&self) -> Option<SimDuration> {
+        match self {
+            LatencyModel::Constant(d) => Some(*d),
+            _ => None,
+        }
+    }
+
     /// Samples the one-way latency from `from` to `to`.
     pub fn sample(&self, from: NodeId, to: NodeId, rng: &mut SimRng) -> SimDuration {
         match self {

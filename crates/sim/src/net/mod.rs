@@ -126,6 +126,11 @@ impl Network {
         self.up.is_empty()
     }
 
+    /// The network configuration this substrate was built with.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
     /// Mutable access to the fault plan (tests flip faults mid-run).
     pub fn faults_mut(&mut self) -> &mut FaultPlan {
         &mut self.cfg.faults

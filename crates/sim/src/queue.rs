@@ -45,16 +45,23 @@ const RING_BUCKETS: usize = 512;
 /// Occupancy bitmap words.
 const RING_WORDS: usize = RING_BUCKETS / 64;
 
-/// An entry in the calendar: a payload due at `at`, tie-broken by `seq`.
+/// An entry in the calendar: a payload due at `at`, tie-broken by `key`.
+///
+/// In the default FIFO mode the key is the monotone insertion sequence
+/// number (so equal-time events fire in insertion order). The sharded
+/// engine instead supplies *canonical stamp* keys — 128-bit values derived
+/// from the event's provenance that are identical no matter which worker
+/// process scheduled the event — which is what makes the sharded dispatch
+/// order shard-count-invariant.
 struct Scheduled<E> {
     at: SimTime,
-    seq: u64,
+    key: u128,
     payload: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 impl<E> Eq for Scheduled<E> {}
@@ -67,12 +74,12 @@ impl<E> PartialOrd for Scheduled<E> {
 
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // BinaryHeap is a max-heap; invert so the earliest (time, key) pops
         // first.
         other
             .at
             .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.key.cmp(&self.key))
     }
 }
 
@@ -141,11 +148,22 @@ impl<E> EventQueue<E> {
     ///
     /// Events at equal times fire in insertion order.
     pub fn push(&mut self, at: SimTime, payload: E) {
-        let seq = self.next_seq;
+        let key = self.next_seq as u128;
+        self.push_keyed(at, key, payload);
+    }
+
+    /// Schedules `payload` at `at` with an explicit 128-bit tie-break key.
+    ///
+    /// Equal-time events fire in ascending key order. Keys at one instant
+    /// **must be distinct** — the underlying binary heap is not stable, so
+    /// two entries with equal `(at, key)` pop in unspecified order. The
+    /// plain [`EventQueue::push`] is exactly `push_keyed` with the monotone
+    /// insertion counter as the key.
+    pub fn push_keyed(&mut self, at: SimTime, key: u128, payload: E) {
         self.next_seq += 1;
         self.len += 1;
         let b = bucket_of(at);
-        let entry = Scheduled { at, seq, payload };
+        let entry = Scheduled { at, key, payload };
         if b <= self.cursor {
             self.cur.push(entry);
         } else if b - self.cursor < RING_BUCKETS as u64 {
@@ -406,6 +424,35 @@ mod tests {
         assert_eq!(q.pop(), Some((t, 0)));
         assert_eq!(q.pop(), Some((t, 1)));
         assert_eq!(q.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn keyed_push_orders_by_key_at_equal_time() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        // Insertion order deliberately scrambled relative to key order.
+        q.push_keyed(t, 30, "c");
+        q.push_keyed(t, 10, "a");
+        q.push_keyed(SimTime::from_secs(2), 1, "late");
+        q.push_keyed(t, 20, "b");
+        assert_eq!(q.pop(), Some((t, "a")));
+        assert_eq!(q.pop(), Some((t, "b")));
+        assert_eq!(q.pop(), Some((t, "c")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "late")));
+        assert_eq!(q.scheduled_total(), 4);
+    }
+
+    #[test]
+    fn keyed_and_wide_keys_order_across_tiers() {
+        let mut q = EventQueue::new();
+        let big = 1u128 << 127;
+        let t = SimTime::from_secs(3);
+        q.push_keyed(t, big | 5, "runtime");
+        q.push_keyed(t, 7, "install");
+        q.push_keyed(SimTime::from_secs(600), big | 1, "far-future");
+        assert_eq!(q.pop().unwrap().1, "install");
+        assert_eq!(q.pop().unwrap().1, "runtime");
+        assert_eq!(q.pop().unwrap().1, "far-future");
     }
 
     #[test]

@@ -89,10 +89,26 @@ impl Scenario {
     /// Creates all nodes in `sim` and schedules every join/leave. Returns
     /// the churn schedule used (empty when churn is disabled).
     pub fn install<P: Protocol>(&self, sim: &mut Simulator<P>) -> ChurnSchedule {
+        self.add_nodes(sim);
+        self.schedule_membership(sim)
+    }
+
+    /// Creates all nodes in `sim` without scheduling anything. Sharded
+    /// runs call this, then `Simulator::enable_sharding` (which must see
+    /// the full node table but no events), then
+    /// [`Scenario::schedule_membership`]; `install` is the two back to
+    /// back.
+    pub fn add_nodes<P: Protocol>(&self, sim: &mut Simulator<P>) {
         for i in 0..self.n_nodes {
             let id = sim.add_node(self.caps.caps_for(i));
             debug_assert_eq!(id, NodeId(i));
         }
+    }
+
+    /// Schedules every join/leave for nodes already created by
+    /// [`Scenario::add_nodes`]. Returns the churn schedule used (empty
+    /// when churn is disabled).
+    pub fn schedule_membership<P: Protocol>(&self, sim: &mut Simulator<P>) -> ChurnSchedule {
         // Server is always up from t = 0 and joins first.
         sim.schedule_join(self.server(), SimTime::ZERO);
         let schedule = self.churn_schedule();
